@@ -1,0 +1,274 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// artifact; see DESIGN.md's experiment index) plus micro-benchmarks for the
+// mining hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times are hardware-specific; the paper's claims live in the
+// ratios (SLIM < CSPM-Basic, CSPM-Partial ≪ CSPM-Basic, CSPM fusion ≥ bare
+// models, CSPM coverage ≥ ACOR).
+package cspm_test
+
+import (
+	"testing"
+
+	"cspm"
+	"cspm/internal/alarm"
+	"cspm/internal/completion"
+	"cspm/internal/dataset"
+	"cspm/internal/experiments"
+	"cspm/internal/gnn"
+	"cspm/internal/slim"
+)
+
+// --- Table II: dataset statistics -----------------------------------------
+
+func BenchmarkTable2_DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(experiments.Small, 1)
+	}
+}
+
+// --- Table III: runtime comparison ----------------------------------------
+// One bench per (algorithm, dataset) cell so `-bench Table3` prints the
+// table's rows as benchmark lines.
+
+func table3Graph(b *testing.B, name string) *cspm.Graph {
+	b.Helper()
+	g, ok := experiments.BenchmarkGraphs(experiments.Small, 1)[name]
+	if !ok {
+		b.Fatalf("unknown dataset %s", name)
+	}
+	return g
+}
+
+func benchSLIM(b *testing.B, name string) {
+	g := table3Graph(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slim.MineGraph(g, slim.Options{})
+	}
+}
+
+func benchCSPM(b *testing.B, name string, variant cspm.Variant) {
+	g := table3Graph(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cspm.MineWithOptions(g, cspm.Options{Variant: variant})
+	}
+}
+
+func BenchmarkTable3_SLIM_DBLP(b *testing.B)     { benchSLIM(b, experiments.DBLPName) }
+func BenchmarkTable3_SLIM_USFlight(b *testing.B) { benchSLIM(b, experiments.USFlightName) }
+
+// CSPM-Basic costs minutes per run on the Table II datasets (the very
+// motivation for CSPM-Partial), so the Basic-vs-Partial ratio is measured on
+// a scaled-down social graph; Partial also runs on it for the comparison.
+func BenchmarkTable3_CSPMBasic_Mini(b *testing.B) {
+	g := experiments.MiniGraph(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic})
+	}
+}
+
+func BenchmarkTable3_CSPMPartial_Mini(b *testing.B) {
+	g := experiments.MiniGraph(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Partial})
+	}
+}
+
+func BenchmarkTable3_SLIM_Mini(b *testing.B) {
+	g := experiments.MiniGraph(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slim.MineGraph(g, slim.Options{})
+	}
+}
+
+func BenchmarkTable3_CSPMPartial_DBLP(b *testing.B) {
+	benchCSPM(b, experiments.DBLPName, cspm.Partial)
+}
+func BenchmarkTable3_CSPMPartial_DBLPTrend(b *testing.B) {
+	benchCSPM(b, experiments.DBLPTrendName, cspm.Partial)
+}
+func BenchmarkTable3_CSPMPartial_USFlight(b *testing.B) {
+	benchCSPM(b, experiments.USFlightName, cspm.Partial)
+}
+func BenchmarkTable3_CSPMPartial_Pokec(b *testing.B) {
+	benchCSPM(b, experiments.PokecName, cspm.Partial)
+}
+
+// --- Fig. 5: gain-update ratio ---------------------------------------------
+// The figure's data is the per-iteration stats; the bench measures the
+// stats-collecting run and reports the mean update ratio as a custom metric.
+
+func benchFig5(b *testing.B, name string, variant cspm.Variant) {
+	benchFig5Graph(b, table3Graph(b, name), variant)
+}
+
+func benchFig5Graph(b *testing.B, g *cspm.Graph, variant cspm.Variant) {
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		m := cspm.MineWithOptions(g, cspm.Options{Variant: variant, CollectStats: true})
+		sum := 0.0
+		for _, it := range m.PerIter {
+			sum += it.UpdateRatio
+		}
+		if len(m.PerIter) > 0 {
+			mean = sum / float64(len(m.PerIter))
+		}
+	}
+	b.ReportMetric(mean, "mean-update-ratio")
+}
+
+func BenchmarkFig5_Basic_Mini(b *testing.B) {
+	g := experiments.MiniGraph(1)
+	benchFig5Graph(b, g, cspm.Basic)
+}
+func BenchmarkFig5_Partial_Mini(b *testing.B) {
+	g := experiments.MiniGraph(1)
+	benchFig5Graph(b, g, cspm.Partial)
+}
+func BenchmarkFig5_Partial_DBLP(b *testing.B) {
+	benchFig5(b, experiments.DBLPName, cspm.Partial)
+}
+
+// --- Fig. 6 / §VI-B: example patterns --------------------------------------
+
+func BenchmarkFig6_PatternExtraction(b *testing.B) {
+	g := table3Graph(b, experiments.USFlightName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := cspm.Mine(g)
+		_ = m.MultiLeaf()
+	}
+}
+
+// --- Table IV: node attribute completion -----------------------------------
+// One bench per model on the (scaled) Cora task, reporting the fusion lift
+// as a custom metric.
+
+func benchTable4(b *testing.B, mk func() gnn.Model) {
+	cfg := dataset.Cora(1)
+	cfg.Nodes /= 4
+	cfg.Attrs /= 2
+	g, _ := dataset.Citation(cfg)
+	task, err := completion.NewTask(g, 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cspm.Mine(task.TrainGraph())
+	scorer := completion.NewScorer(model, task.TrainGraph())
+	cspmScores := scorer.ScoreMatrix(task)
+	b.ResetTimer()
+	var lift float64
+	for i := 0; i < b.N; i++ {
+		scores := mk().FitPredict(task)
+		base := completion.Evaluate(task, scores, []int{10})
+		fused := completion.Evaluate(task, completion.Fuse(scores, cspmScores, task.TestNodes), []int{10})
+		if base.RecallAtK[10] > 0 {
+			lift = (fused.RecallAtK[10] - base.RecallAtK[10]) / base.RecallAtK[10]
+		}
+	}
+	b.ReportMetric(100*lift, "fusion-lift-%")
+}
+
+func quickGNN() gnn.Config { return gnn.Config{Hidden: 16, Epochs: 30, LR: 0.02, Seed: 1} }
+
+func BenchmarkTable4_NeighAggre(b *testing.B) {
+	benchTable4(b, func() gnn.Model { return gnn.NeighAggre{} })
+}
+func BenchmarkTable4_VAE(b *testing.B) {
+	benchTable4(b, func() gnn.Model { return gnn.NewVAE(quickGNN()) })
+}
+func BenchmarkTable4_GCN(b *testing.B) {
+	benchTable4(b, func() gnn.Model { return gnn.NewGCN(quickGNN()) })
+}
+func BenchmarkTable4_GAT(b *testing.B) {
+	benchTable4(b, func() gnn.Model { return gnn.NewGAT(quickGNN()) })
+}
+func BenchmarkTable4_GraphSage(b *testing.B) {
+	benchTable4(b, func() gnn.Model { return gnn.NewGraphSage(quickGNN()) })
+}
+func BenchmarkTable4_SAT(b *testing.B) {
+	benchTable4(b, func() gnn.Model { return gnn.NewSAT(quickGNN()) })
+}
+
+// --- Fig. 8: alarm-rule coverage -------------------------------------------
+
+func fig8Log(b *testing.B) (*alarm.Log, *alarm.Library) {
+	b.Helper()
+	cfg := alarm.DefaultSim()
+	cfg.Devices = 120
+	cfg.Types = 1200
+	cfg.Rules = 6
+	cfg.DerivedPerRule = 6
+	cfg.RootEvents = 900
+	cfg.NoiseEvents = 500
+	cfg.ChattyEvents = 1200
+	cfg.RareEvents = 150
+	cfg.Bursts = 150
+	log, lib, err := alarm.Simulate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return log, lib
+}
+
+func BenchmarkFig8_CSPMRules(b *testing.B) {
+	log, lib := fig8Log(b)
+	valid := lib.PairRules()
+	b.ResetTimer()
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		ranked := alarm.CSPMRules(log, 60)
+		cov = alarm.Coverage(alarm.Rules(ranked), valid, 100)
+	}
+	b.ReportMetric(cov, "coverage@100")
+}
+
+func BenchmarkFig8_ACORRules(b *testing.B) {
+	log, lib := fig8Log(b)
+	valid := lib.PairRules()
+	b.ResetTimer()
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		ranked := alarm.ACORRules(log, 60)
+		cov = alarm.Coverage(alarm.Rules(ranked), valid, 100)
+	}
+	b.ReportMetric(cov, "coverage@100")
+}
+
+// --- Ablation: model-cost term (DESIGN.md A1) -------------------------------
+
+func BenchmarkAblation_ModelCost(b *testing.B) {
+	g, _ := dataset.Planted(dataset.DefaultPlanted())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cspm.MineWithOptions(g, cspm.Options{})
+	}
+}
+
+func BenchmarkAblation_DataGainOnly(b *testing.B) {
+	g, _ := dataset.Planted(dataset.DefaultPlanted())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cspm.MineWithOptions(g, cspm.Options{DisableModelCost: true})
+	}
+}
+
+// --- Micro-benchmarks: mining hot paths ------------------------------------
+
+func BenchmarkMicro_MultiCoreDBLP(b *testing.B) {
+	g := dataset.DBLP(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cspm.MineMultiCore(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Command cspm mines attribute-stars from an attributed graph file and
+// prints them ranked by code length (most informative first).
+//
+// Usage:
+//
+//	cspm [-variant partial|basic] [-multicore] [-top N] [-stats] [-multileaf] graph.txt
+//
+// The input format is line oriented: "v <id> <value>..." declares vertex
+// attributes, "e <u> <v>" an undirected edge, "#" starts a comment. With
+// "-" as the file name, the graph is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cspm/internal/cli"
+)
+
+func main() {
+	cfg := cli.MineConfig{}
+	flag.StringVar(&cfg.Variant, "variant", "partial", "search variant: partial or basic")
+	flag.BoolVar(&cfg.MultiCore, "multicore", false, "mine multi-value coresets via SLIM first (§IV-F)")
+	flag.IntVar(&cfg.Top, "top", 50, "print at most this many patterns (0 = all)")
+	flag.BoolVar(&cfg.Stats, "stats", false, "print per-run statistics")
+	flag.BoolVar(&cfg.MultiOnly, "multileaf", false, "print only patterns with ≥2 leaf values")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cspm [flags] graph.txt (or - for stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := cli.MineFile(flag.Arg(0), os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cspm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale small|full] [-seed N] table1|table2|table3|fig5|fig6|table4|fig8|ablation|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cspm/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "small (seconds) or full (minutes to hours)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+	}
+	scale := experiments.Small
+	if *scaleName == "full" {
+		scale = experiments.Full
+	} else if *scaleName != "small" {
+		usage()
+	}
+	which := flag.Arg(0)
+	run := func(name string) {
+		fmt.Printf("==== %s (scale=%s seed=%d)\n", name, *scaleName, *seed)
+		switch name {
+		case "table1":
+			experiments.PrintTable1(os.Stdout, experiments.Table1())
+		case "table2":
+			experiments.PrintTable2(os.Stdout, experiments.Table2(scale, *seed))
+		case "table3":
+			experiments.PrintTable3(os.Stdout, experiments.Table3(experiments.Table3Options{Scale: scale, Seed: *seed}))
+		case "fig5":
+			experiments.PrintFig5(os.Stdout, experiments.Fig5(scale, *seed, 0))
+		case "fig6":
+			experiments.PrintFig6(os.Stdout, experiments.Fig6Patterns(scale, *seed, 8))
+		case "table4":
+			experiments.PrintTable4(os.Stdout, experiments.Table4(experiments.Table4Options{Scale: scale, Seed: *seed}))
+		case "fig8":
+			experiments.PrintFig8(os.Stdout, experiments.Fig8(scale, *seed))
+		case "ablation":
+			experiments.PrintAblation(os.Stdout, experiments.AblationModelCost(*seed))
+		default:
+			usage()
+		}
+		fmt.Println()
+	}
+	if which == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "table4", "fig8", "ablation"} {
+			run(name)
+		}
+		return
+	}
+	run(which)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-scale small|full] [-seed N] table1|table2|table3|fig5|fig6|table4|fig8|ablation|all")
+	os.Exit(2)
+}

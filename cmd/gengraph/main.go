@@ -1,0 +1,33 @@
+// Command gengraph writes one of the synthetic benchmark datasets to stdout
+// in the text format cmd/cspm consumes.
+//
+// Usage:
+//
+//	gengraph -dataset dblp|dblptrend|usflight|pokec|planted|alarms [-seed N] [-nodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cspm/internal/cli"
+)
+
+func main() {
+	name := flag.String("dataset", "dblp", "dblp, dblptrend, usflight, pokec, planted or alarms")
+	seed := flag.Int64("seed", 1, "generator seed")
+	nodes := flag.Int("nodes", 0, "node count override (pokec only)")
+	flag.Parse()
+
+	g, err := cli.Generate(*name, *seed, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	header := fmt.Sprintf("dataset=%s seed=%d", *name, *seed)
+	if err := cli.WriteGraph(os.Stdout, g, header); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,169 @@
+// Package cspm is the public API of the CSPM library, a Go implementation
+// of "Discovering Representative Attribute-stars via Minimum Description
+// Length" (ICDE 2022). It mines attribute-stars — patterns of the form
+// (coreset, leafset) stating that vertices carrying the core values tend to
+// have neighbours carrying the leaf values — from attributed graphs, with
+// no parameters to tune: model selection is driven entirely by the MDL
+// principle and conditional entropy.
+//
+// Quick start:
+//
+//	b := cspm.NewBuilder(3)
+//	b.AddAttr(0, "smoker")
+//	b.AddAttr(1, "smoker")
+//	b.AddEdge(0, 1)
+//	g := b.Build()
+//	model := cspm.Mine(g)
+//	for _, p := range model.MultiLeaf() {
+//	    fmt.Println(p.Format(g.Vocab()), p.Confidence())
+//	}
+//
+// The implementation packages live under internal/; this package re-exports
+// the stable surface as type aliases, so all returned values are fully
+// usable by downstream code.
+package cspm
+
+import (
+	"io"
+
+	"cspm/internal/completion"
+	icspm "cspm/internal/cspm"
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+	"cspm/internal/krimp"
+	"cspm/internal/slim"
+	"cspm/internal/tensor"
+)
+
+// Graph construction and inspection.
+type (
+	// Graph is an immutable attributed graph (vertices carry sets of
+	// nominal attribute values, edges are undirected, no self-loops).
+	Graph = graph.Graph
+	// Builder accumulates vertices, edges and attributes into a Graph.
+	Builder = graph.Builder
+	// Vocab interns attribute-value strings to dense ids.
+	Vocab = graph.Vocab
+	// AttrID is an interned attribute value.
+	AttrID = graph.AttrID
+	// VertexID is a dense vertex identifier.
+	VertexID = graph.VertexID
+	// Stats summarises a graph (Table II columns).
+	Stats = graph.Stats
+)
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Load parses the line-oriented text format ("v id val..." / "e u v").
+func Load(r io.Reader) (*Graph, error) { return graph.Load(r) }
+
+// Write serialises g in the format accepted by Load.
+func Write(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// Mining.
+type (
+	// Model is a mined set of a-stars ordered by ascending code length.
+	Model = icspm.Model
+	// AStar is one attribute-star pattern.
+	AStar = icspm.AStar
+	// Options tunes experiment knobs; the zero value is the paper's
+	// parameter-free default (CSPM-Partial).
+	Options = icspm.Options
+	// Variant selects CSPM-Basic or CSPM-Partial.
+	Variant = icspm.Variant
+	// IterationStat records one merge iteration (Fig. 5 series).
+	IterationStat = icspm.IterationStat
+)
+
+// Re-exported variant constants.
+const (
+	Partial = icspm.Partial
+	Basic   = icspm.Basic
+)
+
+// Mine runs CSPM-Partial with single-value coresets — the parameter-free
+// entry point (Algorithm 3).
+func Mine(g *Graph) *Model { return icspm.Mine(g) }
+
+// MineWithOptions runs CSPM with explicit options (variant selection,
+// iteration caps, stats collection, ablations).
+func MineWithOptions(g *Graph, opts Options) *Model {
+	return icspm.MineWithOptions(g, opts)
+}
+
+// MineMultiCore runs the §IV-F general mode: multi-value coresets are first
+// selected by SLIM on the vertex-attribute transaction database, then
+// a-stars are mined over them. Still parameter-free.
+func MineMultiCore(g *Graph) (*Model, error) {
+	res := slim.Mine(slim.VertexTransactions(g), slim.Options{})
+	coresets, positions := slim.ItemsetsAsCoresets(res)
+	db, err := invdb.FromGraphWithCoresets(g, coresets, positions)
+	if err != nil {
+		return nil, err
+	}
+	return icspm.MineDB(db, g.Vocab(), Options{CollectStats: true}), nil
+}
+
+// Stepper exposes the CSPM-Partial search one merge at a time (anytime
+// mining: every prefix of the merge sequence is a valid lossless model).
+type Stepper = icspm.Stepper
+
+// NewStepper seeds a step-wise mining run on g.
+func NewStepper(g *Graph, opts Options) *Stepper { return icspm.NewStepper(g, opts) }
+
+// ReadModelJSON loads a model serialised with Model.WriteJSON. Passing an
+// existing graph's vocabulary keeps attribute ids aligned with that graph;
+// nil interns a fresh vocabulary.
+func ReadModelJSON(r io.Reader, vocab *Vocab) (*Model, error) {
+	return icspm.ReadJSON(r, vocab)
+}
+
+// MineMultiCoreKrimp is the §IV-F alternative using Krimp for coreset
+// selection. Unlike SLIM it is not parameter-free: Krimp's candidate miner
+// needs an absolute support threshold.
+func MineMultiCoreKrimp(g *Graph, minSupport int) (*Model, error) {
+	res, err := krimp.Mine(slim.VertexTransactions(g), krimp.Options{MinSupport: minSupport})
+	if err != nil {
+		return nil, err
+	}
+	coresets, positions := slim.CodeTableAsCoresets(res.CT)
+	db, err := invdb.FromGraphWithCoresets(g, coresets, positions)
+	if err != nil {
+		return nil, err
+	}
+	return icspm.MineDB(db, g.Vocab(), Options{CollectStats: true}), nil
+}
+
+// Node attribute completion (§VI-C).
+type (
+	// CompletionTask hides a fraction of vertices' attributes for the
+	// completion benchmark.
+	CompletionTask = completion.Task
+	// Scorer ranks candidate attribute values with a mined model
+	// (Algorithm 5).
+	Scorer = completion.Scorer
+	// CompletionMetrics holds Recall@K and NDCG@K.
+	CompletionMetrics = completion.Metrics
+	// Matrix is the dense score matrix exchanged with completion models.
+	Matrix = tensor.Matrix
+)
+
+// NewCompletionTask hides testFraction of the attributed vertices.
+func NewCompletionTask(g *Graph, testFraction float64, seed int64) (*CompletionTask, error) {
+	return completion.NewTask(g, testFraction, seed)
+}
+
+// NewScorer builds an Algorithm 5 scorer from a mined model.
+func NewScorer(model *Model, g *Graph) *Scorer { return completion.NewScorer(model, g) }
+
+// Fuse multiplies normalised model scores with normalised CSPM scores
+// (Fig. 7).
+func Fuse(modelScores, cspmScores *Matrix, testNodes []VertexID) *Matrix {
+	return completion.Fuse(modelScores, cspmScores, testNodes)
+}
+
+// EvaluateCompletion computes Recall@K / NDCG@K for a score matrix.
+func EvaluateCompletion(task *CompletionTask, scores *Matrix, ks []int) CompletionMetrics {
+	return completion.Evaluate(task, scores, ks)
+}

@@ -1,0 +1,149 @@
+package cspm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cspm"
+)
+
+// fig1 builds the paper's running example through the public API.
+func fig1(t testing.TB) *cspm.Graph {
+	t.Helper()
+	b := cspm.NewBuilder(5)
+	for v, vals := range map[cspm.VertexID][]string{
+		0: {"a"}, 1: {"a", "c"}, 2: {"c"}, 3: {"b"}, 4: {"a", "b"},
+	} {
+		for _, val := range vals {
+			if err := b.AddAttr(v, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range [][2]cspm.VertexID{{0, 1}, {0, 2}, {0, 3}, {2, 4}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestPublicMine(t *testing.T) {
+	g := fig1(t)
+	m := cspm.Mine(g)
+	if m.FinalDL > m.BaselineDL {
+		t.Fatal("Mine expanded the description length")
+	}
+	found := false
+	for _, p := range m.MultiLeaf() {
+		if p.Format(g.Vocab()) == "({a}, {b c})" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("paper's worked pattern missing from public Mine output")
+	}
+}
+
+func TestPublicMineWithOptionsVariants(t *testing.T) {
+	g := fig1(t)
+	basic := cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic})
+	partial := cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Partial})
+	if basic.FinalDL != partial.FinalDL {
+		t.Fatalf("variants disagree on fig1: %v vs %v", basic.FinalDL, partial.FinalDL)
+	}
+}
+
+func TestPublicMineMultiCore(t *testing.T) {
+	// A graph where {x,y} always co-occur: SLIM should select the pair as a
+	// coreset, and the a-stars should carry the two-value core.
+	b := cspm.NewBuilder(8)
+	for v := cspm.VertexID(0); v < 4; v++ {
+		_ = b.AddAttr(v, "x")
+		_ = b.AddAttr(v, "y")
+		leaf := v + 4
+		_ = b.AddAttr(leaf, "z")
+		_ = b.AddEdge(v, leaf)
+		if v > 0 {
+			_ = b.AddEdge(v, v-1)
+		}
+	}
+	g := b.Build()
+	m, err := cspm.MineMultiCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundMulti := false
+	for _, p := range m.Patterns {
+		if len(p.CoreValues) == 2 {
+			foundMulti = true
+		}
+	}
+	if !foundMulti {
+		t.Error("MineMultiCore produced no multi-value coreset patterns")
+	}
+}
+
+func TestPublicLoadWrite(t *testing.T) {
+	g := fig1(t)
+	var buf bytes.Buffer
+	if err := cspm.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := cspm.Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 5 || g2.NumEdges() != 5 {
+		t.Fatalf("round trip changed shape: %d vertices %d edges", g2.NumVertices(), g2.NumEdges())
+	}
+	m1, m2 := cspm.Mine(g), cspm.Mine(g2)
+	if len(m1.Patterns) != len(m2.Patterns) {
+		t.Fatal("round-tripped graph mines differently")
+	}
+}
+
+func TestPublicCompletionPipeline(t *testing.T) {
+	// Wire the full Fig. 7 pipeline through the public API on a small
+	// homophilous graph.
+	b := cspm.NewBuilder(40)
+	for v := cspm.VertexID(0); v < 40; v++ {
+		if v%2 == 0 {
+			_ = b.AddAttr(v, "even")
+			_ = b.AddAttr(v, "red")
+		} else {
+			_ = b.AddAttr(v, "odd")
+			_ = b.AddAttr(v, "blue")
+		}
+		if v > 1 {
+			_ = b.AddEdge(v, v-2) // even chain and odd chain
+		}
+	}
+	_ = b.AddEdge(0, 1) // connect the chains
+	g := b.Build()
+	task, err := cspm.NewCompletionTask(g, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cspm.Mine(task.TrainGraph())
+	scorer := cspm.NewScorer(model, task.TrainGraph())
+	scores := scorer.ScoreMatrix(task)
+	metrics := cspm.EvaluateCompletion(task, scores, []int{2})
+	// Same-parity neighbours share both values: CSPM alone should complete
+	// most hidden nodes within the top 2.
+	if metrics.RecallAtK[2] < 0.5 {
+		t.Fatalf("recall@2 = %v on a trivially homophilous graph", metrics.RecallAtK[2])
+	}
+	fused := cspm.Fuse(scores, scores, task.TestNodes)
+	if fused == nil {
+		t.Fatal("Fuse returned nil")
+	}
+}
+
+func TestPublicTaskValidation(t *testing.T) {
+	g := fig1(t)
+	if _, err := cspm.NewCompletionTask(g, 0, 1); err == nil {
+		t.Fatal("zero test fraction accepted")
+	}
+}

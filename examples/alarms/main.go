@@ -1,0 +1,66 @@
+// Telecom alarm analysis: the §VI-D scenario. Simulates a device network
+// with a hidden fault-propagation rule library, mines alarm-correlation
+// rules with CSPM and the ACOR baseline, and compares their coverage of the
+// library (Fig. 8), then shows the alarm-compression effect of the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cspm/internal/alarm"
+)
+
+func main() {
+	seed := flag.Int64("seed", 3, "simulation seed")
+	flag.Parse()
+
+	cfg := alarm.DefaultSim()
+	cfg.Seed = *seed
+	log, lib, err := alarm.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	valid := lib.PairRules()
+	fmt.Printf("simulated %d alarms on %d devices; hidden library: %d rules / %d pair rules\n\n",
+		len(log.Events), log.Devices, len(lib.Rules), len(valid))
+
+	cspmRules := alarm.CSPMRules(log, cfg.WindowSec)
+	acorRules := alarm.ACORRules(log, cfg.WindowSec)
+
+	fmt.Println("coverage of the hidden rule library (Fig. 8):")
+	fmt.Printf("%8s %10s %10s\n", "topK", "CSPM", "ACOR")
+	ks := []int{50, 100, 200, 400, 800, 1600}
+	for _, k := range ks {
+		fmt.Printf("%8d %10.3f %10.3f\n", k,
+			alarm.Coverage(alarm.Rules(cspmRules), valid, k),
+			alarm.Coverage(alarm.Rules(acorRules), valid, k))
+	}
+
+	fmt.Println("\ntop CSPM alarm rules (cause -> derived):")
+	for i, r := range cspmRules {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %-8s -> %-8s score %.2f\n",
+			alarm.TypeName(r.Rule.Cause), alarm.TypeName(r.Rule.Derived), r.Score)
+	}
+
+	// Alarm compression: count how many derived alarms the top rules would
+	// suppress from the operator's console.
+	topRules := make(map[int]bool)
+	for i, r := range cspmRules {
+		if i >= len(valid) {
+			break
+		}
+		topRules[r.Rule.Derived] = true
+	}
+	suppressed := 0
+	for _, e := range log.Events {
+		if topRules[e.Type] {
+			suppressed++
+		}
+	}
+	fmt.Printf("\nalarm compression: the top %d rules suppress %d of %d alarms (%.1f%%)\n",
+		len(valid), suppressed, len(log.Events), 100*float64(suppressed)/float64(len(log.Events)))
+}

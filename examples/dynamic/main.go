@@ -1,0 +1,83 @@
+// Temporal mining on a dynamic attributed graph — the paper's future-work
+// direction (2). Simulates a sensor network where "overheat" on a device is
+// followed by "throttle" on its neighbours in the next time window, flattens
+// the snapshot sequence into a temporal product graph, and mines it: CSPM
+// surfaces the temporal a-star without being told anything about time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"cspm"
+)
+
+func main() {
+	devices := flag.Int("devices", 60, "sensor count")
+	steps := flag.Int("steps", 40, "time steps")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	// Ring topology.
+	topo := make([][2]cspm.VertexID, 0, *devices)
+	for d := 0; d < *devices; d++ {
+		topo = append(topo, [2]cspm.VertexID{cspm.VertexID(d), cspm.VertexID((d + 1) % *devices)})
+	}
+	// Event stream: overheats appear at random; each is followed by
+	// throttle events on the two ring neighbours in the next window, plus
+	// background telemetry noise.
+	var events []cspm.TemporalEvent
+	const window = 10
+	for step := 0; step < *steps; step++ {
+		base := int64(step * window)
+		for d := 0; d < *devices; d++ {
+			if rng.Float64() < 0.08 {
+				events = append(events, cspm.TemporalEvent{
+					Vertex: cspm.VertexID(d), Value: "overheat", Time: base + rng.Int63n(window),
+				})
+				for _, nb := range []int{(d + 1) % *devices, (d - 1 + *devices) % *devices} {
+					if rng.Float64() < 0.9 {
+						events = append(events, cspm.TemporalEvent{
+							Vertex: cspm.VertexID(nb), Value: "throttle", Time: base + window + rng.Int63n(window),
+						})
+					}
+				}
+			}
+			if rng.Float64() < 0.05 {
+				events = append(events, cspm.TemporalEvent{
+					Vertex: cspm.VertexID(d), Value: fmt.Sprintf("telemetry%d", rng.Intn(20)), Time: base + rng.Int63n(window),
+				})
+			}
+		}
+	}
+
+	d, err := cspm.DynamicFromEvents(*devices, topo, events, window)
+	if err != nil {
+		panic(err)
+	}
+	g, slices, err := cspm.Flatten(d, cspm.DefaultFlatten())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dynamic graph: %d devices × %d snapshots -> %d active slices, %s\n\n",
+		*devices, len(d.Snapshots), len(slices), g.ComputeStats())
+
+	model := cspm.Mine(g)
+	fmt.Println("top temporal a-stars (value at t -> neighbourhood values at t/t+1):")
+	shown := 0
+	for _, p := range model.MultiLeaf() {
+		fmt.Printf("  %-40s fL=%d fc=%d len=%.2f\n", p.Format(g.Vocab()), p.FL, p.FC, p.CodeLen)
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+	for _, p := range model.Patterns {
+		name := p.Format(g.Vocab())
+		if name == "({overheat}, {throttle})" || name == "({overheat}, {overheat throttle})" {
+			fmt.Printf("\nplanted temporal rule recovered: %s (confidence %.2f)\n", name, p.Confidence())
+			break
+		}
+	}
+}

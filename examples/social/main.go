@@ -1,0 +1,47 @@
+// Social-network mining: the §VI-B(3) scenario. Generates a Pokec-like
+// friendship network whose users carry music tastes, mines a-stars, and
+// prints taste-correlation patterns such as ({rap}, {rock metal pop}).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cspm"
+	"cspm/internal/dataset"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4000, "network size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	top := flag.Int("top", 15, "patterns to print")
+	flag.Parse()
+
+	g := dataset.Pokec(dataset.PokecConfig{Nodes: *nodes, Seed: *seed, Genres: 914})
+	fmt.Printf("Pokec-like network: %s\n\n", g.ComputeStats())
+
+	model := cspm.Mine(g)
+	fmt.Printf("mined %d a-stars in %d merge iterations (DL %.0f -> %.0f bits)\n\n",
+		len(model.Patterns), model.Iterations, model.BaselineDL, model.FinalDL)
+
+	fmt.Println("strongest taste correlations (user's taste -> friends' tastes):")
+	for i, p := range model.MultiLeaf() {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-55s confidence %.2f\n", p.Format(g.Vocab()), p.Confidence())
+	}
+
+	// A mined model can drive recommendations: score the likeliest missing
+	// taste of a user from the friends' tastes (Algorithm 5).
+	task, err := cspm.NewCompletionTask(g, 0.05, *seed)
+	if err != nil {
+		panic(err)
+	}
+	trained := cspm.Mine(task.TrainGraph())
+	scorer := cspm.NewScorer(trained, task.TrainGraph())
+	scores := scorer.ScoreMatrix(task)
+	m := cspm.EvaluateCompletion(task, scores, []int{3, 10})
+	fmt.Printf("\ntaste completion with CSPM scores alone: recall@3=%.3f recall@10=%.3f\n",
+		m.RecallAtK[3], m.RecallAtK[10])
+}

@@ -1,0 +1,86 @@
+package cspm
+
+// This file re-exports the extension packages implementing the paper's
+// future-work directions (§VII): mining dynamic attributed graphs (2),
+// graph classification on a-star features (1), and parallel gain
+// evaluation (3, exposed as Options.Workers on the miner itself).
+
+import (
+	"cspm/internal/classify"
+	"cspm/internal/dynamic"
+	"cspm/internal/graph"
+)
+
+// Star-shape matching (paper §III–IV-A).
+type (
+	// Star is a core vertex with its leaves.
+	Star = graph.Star
+	// ExtendedStar is a star with attribute values on every vertex.
+	ExtendedStar = graph.ExtendedStar
+	// AStarShape is a vocabulary-bound (coreset, leafset) pattern usable
+	// for occurrence matching.
+	AStarShape = graph.AStarShape
+)
+
+// StarAt returns the star centred at v using all neighbours as leaves.
+func StarAt(g *Graph, v VertexID) Star { return graph.StarAt(g, v) }
+
+// NewAStarShape validates and sorts a (coreset, leafset) pattern.
+func NewAStarShape(core, leaf []AttrID) (AStarShape, error) {
+	return graph.NewAStarShape(core, leaf)
+}
+
+// ShapeOf converts a mined pattern into a matchable shape.
+func ShapeOf(p AStar) (AStarShape, error) {
+	return graph.NewAStarShape(p.CoreValues, p.LeafValues)
+}
+
+// Dynamic attributed graphs (future work 2).
+type (
+	// DynamicGraph is a sequence of attributed snapshots over fixed
+	// vertices.
+	DynamicGraph = dynamic.Graph
+	// Snapshot is one time step of a DynamicGraph.
+	Snapshot = dynamic.Snapshot
+	// SliceID maps a flattened vertex back to its (vertex, time) origin.
+	SliceID = dynamic.SliceID
+	// TemporalEvent is a timestamped attribute observation.
+	TemporalEvent = dynamic.Event
+	// FlattenOptions controls the temporal-product encoding.
+	FlattenOptions = dynamic.FlattenOptions
+)
+
+// DefaultFlatten is the recommended dynamic-graph encoding.
+func DefaultFlatten() FlattenOptions { return dynamic.DefaultFlatten() }
+
+// Flatten encodes a dynamic graph as a static attributed graph; mining the
+// result yields temporal a-stars.
+func Flatten(d *DynamicGraph, opts FlattenOptions) (*Graph, []SliceID, error) {
+	return dynamic.Flatten(d, opts)
+}
+
+// DynamicFromEvents builds a dynamic graph from timestamped events over a
+// static topology (the alarm-log shape).
+func DynamicFromEvents(numVertices int, topology [][2]VertexID, events []TemporalEvent, windowSize int64) (*DynamicGraph, error) {
+	return dynamic.FromEventStream(numVertices, topology, events, windowSize)
+}
+
+// Graph classification (future work 1).
+type (
+	// Featurizer converts graphs into a-star match-frequency vectors.
+	Featurizer = classify.Featurizer
+	// GraphClassifier is a softmax regression over a-star features.
+	GraphClassifier = classify.Classifier
+	// ClassifyOptions tunes classifier training.
+	ClassifyOptions = classify.TrainOptions
+)
+
+// NewFeaturizer keeps a mined model's topK multi-leaf patterns as features.
+func NewFeaturizer(model *Model, vocab *Vocab, topK int) (*Featurizer, error) {
+	return classify.NewFeaturizer(model, vocab, topK)
+}
+
+// TrainClassifier fits a graph classifier on labelled graphs.
+func TrainClassifier(f *Featurizer, graphs []*Graph, labels []int, opts ClassifyOptions) (*GraphClassifier, error) {
+	return classify.Train(f, graphs, labels, opts)
+}

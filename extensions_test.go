@@ -1,0 +1,140 @@
+package cspm_test
+
+import (
+	"testing"
+
+	"cspm"
+)
+
+func TestPublicShapeMatching(t *testing.T) {
+	g := fig1(t)
+	m := cspm.Mine(g)
+	for _, p := range m.Patterns {
+		shape, err := cspm.ShapeOf(p)
+		if err != nil {
+			t.Fatalf("mined pattern rejected by ShapeOf: %v", err)
+		}
+		if got := len(shape.Matches(g)); got < p.FL {
+			t.Fatalf("pattern %s: %d matches < fL %d", p.Format(g.Vocab()), got, p.FL)
+		}
+	}
+	if s := cspm.StarAt(g, 0); len(s.Leaves) != 3 {
+		t.Fatalf("StarAt(v1) leaves = %d", len(s.Leaves))
+	}
+}
+
+func TestPublicDynamicPipeline(t *testing.T) {
+	topo := [][2]cspm.VertexID{{0, 1}, {1, 2}}
+	var events []cspm.TemporalEvent
+	for step := int64(0); step < 20; step++ {
+		events = append(events,
+			cspm.TemporalEvent{Vertex: 0, Value: "cause", Time: step * 10},
+			cspm.TemporalEvent{Vertex: 1, Value: "effect", Time: step*10 + 3},
+		)
+	}
+	d, err := cspm.DynamicFromEvents(3, topo, events, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, slices, err := cspm.Flatten(d, cspm.DefaultFlatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) == 0 {
+		t.Fatal("no slices produced")
+	}
+	m := cspm.Mine(g)
+	cause, ok := g.Vocab().Lookup("cause")
+	if !ok {
+		t.Fatal("cause value missing")
+	}
+	effect, _ := g.Vocab().Lookup("effect")
+	found := false
+	for _, p := range m.Patterns {
+		if len(p.CoreValues) == 1 && p.CoreValues[0] == cause {
+			for _, lv := range p.LeafValues {
+				if lv == effect {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("temporal cause->effect a-star not mined through the public API")
+	}
+}
+
+func TestPublicClassification(t *testing.T) {
+	mkGraph := func(class int, n int) *cspm.Graph {
+		b := cspm.NewBuilder(n * 2)
+		for i := 0; i < n; i++ {
+			core := cspm.VertexID(2 * i)
+			leaf := core + 1
+			if class == 0 {
+				_ = b.AddAttr(core, "p")
+				_ = b.AddAttr(leaf, "q")
+			} else {
+				_ = b.AddAttr(core, "r")
+				_ = b.AddAttr(leaf, "s")
+			}
+			_ = b.AddEdge(core, leaf)
+			if core > 0 {
+				_ = b.AddEdge(core, core-1)
+			}
+		}
+		return b.Build()
+	}
+	// Reference corpus: both class motifs with the same wiring the class
+	// graphs use (core-leaf pairs chained leaf→next core), plus one bridge.
+	ref := cspm.NewBuilder(40)
+	for i := cspm.VertexID(0); i < 20; i += 2 {
+		_ = ref.AddAttr(i, "p")
+		_ = ref.AddAttr(i+1, "q")
+		_ = ref.AddEdge(i, i+1)
+		if i > 0 {
+			_ = ref.AddEdge(i, i-1)
+		}
+	}
+	for i := cspm.VertexID(20); i < 40; i += 2 {
+		_ = ref.AddAttr(i, "r")
+		_ = ref.AddAttr(i+1, "s")
+		_ = ref.AddEdge(i, i+1)
+		if i > 20 {
+			_ = ref.AddEdge(i, i-1)
+		}
+	}
+	_ = ref.AddEdge(19, 20)
+	refG := ref.Build()
+	model := cspm.Mine(refG)
+	f, err := cspm.NewFeaturizer(model, refG.Vocab(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs []*cspm.Graph
+	var labels []int
+	for i := 0; i < 12; i++ {
+		graphs = append(graphs, mkGraph(i%2, 8))
+		labels = append(labels, i%2)
+	}
+	clf, err := cspm.TrainClassifier(f, graphs, labels, cspm.ClassifyOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := clf.Accuracy(graphs, labels); acc < 0.9 {
+		t.Fatalf("training accuracy %.2f on trivially separable classes", acc)
+	}
+}
+
+func TestPublicMineMultiCoreKrimp(t *testing.T) {
+	g := fig1(t)
+	m, err := cspm.MineMultiCoreKrimp(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Patterns) == 0 {
+		t.Fatal("Krimp multi-core mining produced no patterns")
+	}
+	if _, err := cspm.MineMultiCoreKrimp(g, 0); err == nil {
+		t.Fatal("zero support accepted")
+	}
+}

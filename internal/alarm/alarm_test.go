@@ -1,0 +1,204 @@
+package alarm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallSim() SimConfig {
+	return SimConfig{
+		Seed: 3, Devices: 120, Types: 1200, Rules: 6, DerivedPerRule: 6,
+		RootEvents: 900, NoiseEvents: 500, ChattyTypes: 4, ChattyEvents: 1200,
+		RareEvents: 150, Bursts: 150, PropagateProb: 0.6, WindowSec: 60,
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	cfg := smallSim()
+	log, lib, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Rules) != cfg.Rules {
+		t.Fatalf("rules = %d, want %d", len(lib.Rules), cfg.Rules)
+	}
+	if got := len(lib.PairRules()); got != cfg.Rules*cfg.DerivedPerRule {
+		t.Fatalf("pair rules = %d, want %d", got, cfg.Rules*cfg.DerivedPerRule)
+	}
+	if len(log.Events) < cfg.RootEvents+cfg.NoiseEvents {
+		t.Fatalf("only %d events", len(log.Events))
+	}
+	for i := 1; i < len(log.Events); i++ {
+		if log.Events[i].Time < log.Events[i-1].Time {
+			t.Fatal("events unsorted")
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := smallSim()
+	cfg.Types = 10 // too few for the rules
+	if _, _, err := Simulate(cfg); err == nil {
+		t.Fatal("impossible config accepted")
+	}
+}
+
+func TestWindowGraphShape(t *testing.T) {
+	log, _, err := Simulate(smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := log.WindowGraph(60)
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty window graph")
+	}
+	// Every vertex carries at least one alarm attribute.
+	for v := 0; v < g.NumVertices(); v++ {
+		if len(g.Attrs(uint32(v))) == 0 {
+			t.Fatalf("vertex %d has no alarms", v)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	valid := []PairRule{{0, 1}, {0, 2}, {3, 4}}
+	ranked := []PairRule{{0, 1}, {9, 9}, {3, 4}, {0, 2}}
+	if c := Coverage(ranked, valid, 1); c != 1.0/3 {
+		t.Fatalf("coverage@1 = %v", c)
+	}
+	if c := Coverage(ranked, valid, 3); c != 2.0/3 {
+		t.Fatalf("coverage@3 = %v", c)
+	}
+	if c := Coverage(ranked, valid, 100); c != 1 {
+		t.Fatalf("coverage@100 = %v", c)
+	}
+	if c := Coverage(ranked, nil, 4); c != 0 {
+		t.Fatal("empty valid set should give 0")
+	}
+	// Duplicate ranked entries must not double count.
+	dup := []PairRule{{0, 1}, {0, 1}, {0, 2}}
+	if c := Coverage(dup, valid, 3); c != 2.0/3 {
+		t.Fatalf("coverage with duplicates = %v", c)
+	}
+}
+
+func TestCSPMRecoverRules(t *testing.T) {
+	log, lib, err := Simulate(smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := CSPMRules(log, 60)
+	if len(ranked) == 0 {
+		t.Fatal("no rules mined")
+	}
+	valid := lib.PairRules()
+	// All valid rules must eventually be found, and a large share must rank
+	// within the first few hundred.
+	full := Coverage(Rules(ranked), valid, len(ranked))
+	if full < 0.9 {
+		t.Fatalf("full coverage = %v, want ≥ 0.9", full)
+	}
+	early := Coverage(Rules(ranked), valid, 150)
+	if early < 0.5 {
+		t.Fatalf("coverage@150 = %v, want ≥ 0.5", early)
+	}
+}
+
+func TestACORRecoverRules(t *testing.T) {
+	log, lib, err := Simulate(smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := ACORRules(log, 60)
+	if len(ranked) == 0 {
+		t.Fatal("no rules mined")
+	}
+	full := Coverage(Rules(ranked), lib.PairRules(), len(ranked))
+	if full < 0.8 {
+		t.Fatalf("ACOR full coverage = %v, want ≥ 0.8", full)
+	}
+}
+
+// TestFig8Shape verifies the paper's qualitative claim: CSPM's coverage
+// curve dominates ACOR's at moderate K (valid rules rank higher under the
+// global MDL ranking than under ACOR's pairwise scores).
+func TestFig8Shape(t *testing.T) {
+	log, lib, err := Simulate(smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := lib.PairRules()
+	cspmCurve := CoverageCurve(CSPMRules(log, 60), valid, []int{50, 100, 200, 400})
+	acorCurve := CoverageCurve(ACORRules(log, 60), valid, []int{50, 100, 200, 400})
+	t.Logf("CSPM curve: %v", cspmCurve)
+	t.Logf("ACOR curve: %v", acorCurve)
+	wins := 0
+	for i := range cspmCurve {
+		if cspmCurve[i] >= acorCurve[i] {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Fatalf("CSPM dominated ACOR at only %d/4 cut-offs", wins)
+	}
+}
+
+// Property battery for the coverage metric: bounds, monotonicity in K, and
+// permutation sensitivity (moving a valid rule earlier never lowers
+// coverage at any cutoff).
+func TestCoverageProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		nValid := 1 + rng.Intn(8)
+		valid := make([]PairRule, nValid)
+		for i := range valid {
+			valid[i] = PairRule{Cause: i, Derived: 100 + i}
+		}
+		ranked := append([]PairRule(nil), valid...)
+		for j := 0; j < 10; j++ {
+			ranked = append(ranked, PairRule{Cause: 50 + j, Derived: 60 + j})
+		}
+		rng.Shuffle(len(ranked), func(i, j int) { ranked[i], ranked[j] = ranked[j], ranked[i] })
+		prev := 0.0
+		for k := 1; k <= len(ranked); k++ {
+			c := Coverage(ranked, valid, k)
+			if c < 0 || c > 1 {
+				t.Fatalf("coverage %v out of range", c)
+			}
+			if c < prev {
+				t.Fatalf("coverage decreased with K: %v -> %v", prev, c)
+			}
+			prev = c
+		}
+		if prev != 1 {
+			t.Fatalf("full-list coverage = %v, want 1 (all valid present)", prev)
+		}
+	}
+}
+
+func TestLeadVotesDirection(t *testing.T) {
+	// Alarm 0 always precedes alarm 1 on the same device/window.
+	log := &Log{
+		Topology: [][]int{{1}, {0}},
+		Devices:  2, Types: 2, Horizon: 1000,
+	}
+	for i := int64(0); i < 10; i++ {
+		log.Events = append(log.Events,
+			Event{Device: 0, Type: 0, Time: i * 100},
+			Event{Device: 0, Type: 1, Time: i*100 + 5},
+		)
+	}
+	votes := leadVotes(log, 60)
+	if !votes.leads(0, 1) {
+		t.Fatal("alarm 0 should lead alarm 1")
+	}
+	if votes.leads(1, 0) {
+		t.Fatal("alarm 1 must not lead alarm 0")
+	}
+	if votes.leads(0, 0) {
+		t.Fatal("self-lead must be false")
+	}
+	if votes.leads(0, 7) {
+		t.Fatal("never-co-occurring pair must not lead")
+	}
+}

@@ -1,0 +1,239 @@
+package alarm
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+)
+
+// RankedRule is a candidate pair rule with the score its miner assigned.
+type RankedRule struct {
+	Rule  PairRule
+	Score float64 // higher ranks first
+}
+
+// CSPMRules mines the window graph with CSPM and decomposes the a-stars
+// into ranked pair rules: the core value is the cause alarm, each leaf value
+// a derived alarm (§VI-D: "a-stars mined by CSPM are split into pairs...
+// rankings and scores of all alarm rules are maintained"). Pairs inherit the
+// a-star's ranking (shorter code = higher score); a pair produced by several
+// a-stars keeps its best score.
+func CSPMRules(l *Log, windowSec int64) []RankedRule {
+	g := l.WindowGraph(windowSec)
+	model := cspm.Mine(g)
+	votes := leadVotes(l, windowSec)
+	best := make(map[PairRule]float64)
+	for _, p := range model.Patterns {
+		score := -p.CodeLen // ascending code length → descending score
+		for _, cv := range p.CoreValues {
+			cause, ok := parseType(g.Vocab(), cv)
+			if !ok {
+				continue
+			}
+			for _, lv := range p.LeafValues {
+				derived, ok := parseType(g.Vocab(), lv)
+				if !ok || derived == cause {
+					continue
+				}
+				// The window graph is undirected, so the a-star alone cannot
+				// say which alarm precedes which; orient the pair with the
+				// same first-occurrence vote ACOR uses (timestamps are
+				// available to both miners). Pairs whose vote contradicts
+				// the core→leaf reading are dropped — they re-appear from
+				// the oppositely-oriented a-star.
+				if !votes.leads(cause, derived) {
+					continue
+				}
+				pr := PairRule{Cause: cause, Derived: derived}
+				if s, seen := best[pr]; !seen || score > s {
+					best[pr] = score
+				}
+			}
+		}
+	}
+	return sortRanked(best)
+}
+
+// pairStat aggregates windowed co-occurrence evidence for one unordered
+// alarm-type pair (a < b).
+type pairStat struct {
+	co     int // co-occurrences within a window neighbourhood
+	aLeads int // co-occurrences where a fired first
+}
+
+type voteTable map[[2]int]pairStat
+
+// leads reports whether alarm a temporally precedes alarm b in the majority
+// of their co-occurrences.
+func (v voteTable) leads(a, b int) bool {
+	if a == b {
+		return false
+	}
+	key := [2]int{a, b}
+	flipped := false
+	if a > b {
+		key = [2]int{b, a}
+		flipped = true
+	}
+	st, ok := v[key]
+	if !ok || st.co == 0 {
+		return false
+	}
+	if flipped {
+		// st.aLeads counts the smaller id leading; a (the larger id) leads
+		// when the smaller does not strictly dominate. Ties emit both
+		// directions.
+		return 2*st.aLeads <= st.co
+	}
+	return 2*st.aLeads >= st.co
+}
+
+// leadVotes scans the log once and collects, per alarm-type pair, the
+// windowed co-occurrence count and the temporal direction vote.
+func leadVotes(l *Log, windowSec int64) voteTable {
+	if windowSec <= 0 {
+		windowSec = 60
+	}
+	type slot struct{ dev, win int }
+	occ := make(map[int]map[slot]int64)
+	for _, e := range l.Events {
+		s := slot{e.Device, int(e.Time / windowSec)}
+		if occ[e.Type] == nil {
+			occ[e.Type] = make(map[slot]int64)
+		}
+		if t0, ok := occ[e.Type][s]; !ok || e.Time < t0 {
+			occ[e.Type][s] = e.Time
+		}
+	}
+	neighborSlots := func(s slot) []slot {
+		out := []slot{s, {s.dev, s.win + 1}}
+		for _, nb := range l.Topology[s.dev] {
+			out = append(out, slot{nb, s.win}, slot{nb, s.win + 1})
+		}
+		return out
+	}
+	types := make([]int, 0, len(occ))
+	for t := range occ {
+		types = append(types, t)
+	}
+	sort.Ints(types)
+	votes := make(voteTable)
+	for _, a := range types {
+		for _, b := range types {
+			if a >= b {
+				continue
+			}
+			st := pairStat{}
+			for s, ta := range occ[a] {
+				for _, ns := range neighborSlots(s) {
+					if tb, ok := occ[b][ns]; ok {
+						st.co++
+						if ta <= tb {
+							st.aLeads++
+						}
+						break
+					}
+				}
+			}
+			if st.co > 0 {
+				votes[[2]int{a, b}] = st
+			}
+		}
+	}
+	return votes
+}
+
+// occCount is used by ACOR's normalisation: slots per alarm type.
+func occCounts(l *Log, windowSec int64) map[int]int {
+	type slot struct{ dev, win int }
+	seen := make(map[int]map[slot]struct{})
+	for _, e := range l.Events {
+		s := slot{e.Device, int(e.Time / windowSec)}
+		if seen[e.Type] == nil {
+			seen[e.Type] = make(map[slot]struct{})
+		}
+		seen[e.Type][s] = struct{}{}
+	}
+	out := make(map[int]int, len(seen))
+	for t, m := range seen {
+		out[t] = len(m)
+	}
+	return out
+}
+
+func parseType(v *graph.Vocab, id graph.AttrID) (int, bool) {
+	name := v.Name(id)
+	if !strings.HasPrefix(name, "ALM") {
+		return 0, false
+	}
+	t, err := strconv.Atoi(name[3:])
+	if err != nil {
+		return 0, false
+	}
+	return t, true
+}
+
+// ACORRules implements the ACOR baseline [9]: every alarm pair is scored
+// independently by a correlation measure over co-occurrences within time
+// windows on the same or adjacent devices. The cause direction is the
+// temporally leading alarm of the pair.
+func ACORRules(l *Log, windowSec int64) []RankedRule {
+	if windowSec <= 0 {
+		windowSec = 60
+	}
+	votes := leadVotes(l, windowSec)
+	counts := occCounts(l, windowSec)
+	best := make(map[PairRule]float64)
+	for key, st := range votes {
+		a, b := key[0], key[1]
+		score := float64(st.co) / math.Sqrt(float64(counts[a])*float64(counts[b]))
+		pr := PairRule{Cause: a, Derived: b}
+		if 2*st.aLeads < st.co {
+			pr = PairRule{Cause: b, Derived: a}
+		}
+		if s, seen := best[pr]; !seen || score > s {
+			best[pr] = score
+		}
+	}
+	return sortRanked(best)
+}
+
+func sortRanked(best map[PairRule]float64) []RankedRule {
+	out := make([]RankedRule, 0, len(best))
+	for pr, s := range best {
+		out = append(out, RankedRule{Rule: pr, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Rule.Cause != out[j].Rule.Cause {
+			return out[i].Rule.Cause < out[j].Rule.Cause
+		}
+		return out[i].Rule.Derived < out[j].Rule.Derived
+	})
+	return out
+}
+
+// Rules extracts the bare pair rules from a ranked list.
+func Rules(ranked []RankedRule) []PairRule {
+	out := make([]PairRule, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.Rule
+	}
+	return out
+}
+
+// CoverageCurve evaluates coverage at each k in ks for a ranked list.
+func CoverageCurve(ranked []RankedRule, valid []PairRule, ks []int) []float64 {
+	rules := Rules(ranked)
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		out[i] = Coverage(rules, valid, k)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package classify applies mined a-stars to graph classification — the
+// paper's future-work item (1). A reference model's top patterns become a
+// feature extractor: a graph is represented by how often each a-star
+// matches in it (match counts normalised by vertex count), and a softmax
+// regression on those features separates graph classes. Patterns are keyed
+// by attribute-value *names*, so graphs with independently built
+// vocabularies are featurised consistently.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+	"cspm/internal/tensor"
+)
+
+// patternShape is a vocabulary-independent a-star.
+type patternShape struct {
+	core []string
+	leaf []string
+}
+
+// Featurizer turns graphs into fixed-length a-star match-frequency vectors.
+type Featurizer struct {
+	shapes []patternShape
+}
+
+// NewFeaturizer keeps the topK best-ranked multi-leaf patterns of a mined
+// model as features (single-leaf lines are near-ubiquitous in the mining
+// corpus and usually carry less class signal). When the model contains no
+// multi-leaf patterns — nothing merged — all patterns are eligible. The
+// model's vocabulary translates ids to names once.
+func NewFeaturizer(model *cspm.Model, vocab *graph.Vocab, topK int) (*Featurizer, error) {
+	if topK <= 0 {
+		return nil, fmt.Errorf("classify: topK must be positive, got %d", topK)
+	}
+	multi := model.MultiLeaf()
+	if len(multi) == 0 {
+		multi = model.Patterns
+	}
+	if len(multi) == 0 {
+		return nil, fmt.Errorf("classify: model has no patterns")
+	}
+	if topK > len(multi) {
+		topK = len(multi)
+	}
+	f := &Featurizer{}
+	for _, p := range multi[:topK] {
+		shape := patternShape{}
+		for _, a := range p.CoreValues {
+			shape.core = append(shape.core, vocab.Name(a))
+		}
+		for _, a := range p.LeafValues {
+			shape.leaf = append(shape.leaf, vocab.Name(a))
+		}
+		sort.Strings(shape.core)
+		sort.Strings(shape.leaf)
+		f.shapes = append(f.shapes, shape)
+	}
+	return f, nil
+}
+
+// Dim reports the feature-vector length.
+func (f *Featurizer) Dim() int { return len(f.shapes) }
+
+// Features returns the normalised match counts of every reference pattern
+// in g. Patterns whose values are absent from g's vocabulary contribute 0.
+func (f *Featurizer) Features(g *graph.Graph) []float64 {
+	out := make([]float64, len(f.shapes))
+	if g.NumVertices() == 0 {
+		return out
+	}
+	for i, shape := range f.shapes {
+		ids, ok := translate(g, shape)
+		if !ok {
+			continue
+		}
+		out[i] = float64(len(ids.Matches(g))) / float64(g.NumVertices())
+	}
+	return out
+}
+
+func translate(g *graph.Graph, shape patternShape) (graph.AStarShape, bool) {
+	core := make([]graph.AttrID, 0, len(shape.core))
+	for _, n := range shape.core {
+		id, ok := g.Vocab().Lookup(n)
+		if !ok {
+			return graph.AStarShape{}, false
+		}
+		core = append(core, id)
+	}
+	leaf := make([]graph.AttrID, 0, len(shape.leaf))
+	for _, n := range shape.leaf {
+		id, ok := g.Vocab().Lookup(n)
+		if !ok {
+			return graph.AStarShape{}, false
+		}
+		leaf = append(leaf, id)
+	}
+	s, err := graph.NewAStarShape(core, leaf)
+	if err != nil {
+		return graph.AStarShape{}, false
+	}
+	return s, true
+}
+
+// Classifier is a softmax regression over a-star features.
+type Classifier struct {
+	feat    *Featurizer
+	classes int
+	w       *tensor.Parameter
+	bias    *tensor.Parameter
+}
+
+// TrainOptions tunes the classifier fit.
+type TrainOptions struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 300
+	}
+	if o.LR == 0 {
+		o.LR = 0.05
+	}
+	return o
+}
+
+// Train fits a classifier on labelled graphs. Labels must be 0..C-1.
+func Train(f *Featurizer, graphs []*graph.Graph, labels []int, opts TrainOptions) (*Classifier, error) {
+	if len(graphs) != len(labels) || len(graphs) == 0 {
+		return nil, fmt.Errorf("classify: %d graphs but %d labels", len(graphs), len(labels))
+	}
+	classes := 0
+	for _, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("classify: negative label %d", l)
+		}
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	x := tensor.NewMatrix(len(graphs), f.Dim())
+	for i, g := range graphs {
+		copy(x.Row(i), f.Features(g))
+	}
+	wm := tensor.NewMatrix(f.Dim(), classes)
+	tensor.Glorot(wm, rng)
+	c := &Classifier{
+		feat:    f,
+		classes: classes,
+		w:       tensor.NewParameter(wm),
+		bias:    tensor.NewParameter(tensor.NewMatrix(1, classes)),
+	}
+	// One-vs-all sigmoid targets trained with the shared masked-BCE loss:
+	// with mutually exclusive rows this optimises the same decision
+	// boundaries as softmax cross-entropy and reuses the tested op.
+	targets := tensor.NewMatrix(len(graphs), classes)
+	for i, l := range labels {
+		targets.Set(i, l, 1)
+	}
+	mask := make([]bool, len(graphs))
+	for i := range mask {
+		mask[i] = true
+	}
+	opt := tensor.NewAdam(opts.LR)
+	opt.Register(c.w, c.bias)
+	for e := 0; e < opts.Epochs; e++ {
+		tape := tensor.NewTape()
+		logits := tape.AddRowVec(tape.MatMul(tape.Const(x), tape.Param(c.w)), tape.Param(c.bias))
+		loss := tape.MaskedBCE(logits, targets, mask)
+		tape.Backward(loss)
+		opt.Step()
+	}
+	return c, nil
+}
+
+// Predict returns the most likely class for g.
+func (c *Classifier) Predict(g *graph.Graph) int {
+	scores := c.Scores(g)
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Scores returns the per-class logits for g.
+func (c *Classifier) Scores(g *graph.Graph) []float64 {
+	feats := c.feat.Features(g)
+	out := make([]float64, c.classes)
+	for j := 0; j < c.classes; j++ {
+		s := c.bias.Value.At(0, j)
+		for i, x := range feats {
+			s += x * c.w.Value.At(i, j)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// Accuracy evaluates the classifier on labelled graphs.
+func (c *Classifier) Accuracy(graphs []*graph.Graph, labels []int) float64 {
+	if len(graphs) == 0 {
+		return math.NaN()
+	}
+	hits := 0
+	for i, g := range graphs {
+		if c.Predict(g) == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(graphs))
+}

@@ -1,0 +1,183 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+)
+
+// classGraph generates a small graph of the given class: class 0 plants
+// (coreA → leafX leafY) stars, class 1 plants (coreB → leafY leafZ) stars,
+// over shared vocabulary and identical topology statistics.
+func classGraph(rng *rand.Rand, class int) *graph.Graph {
+	const stars = 12
+	b := graph.NewBuilder(stars * 3)
+	next := graph.VertexID(0)
+	for s := 0; s < stars; s++ {
+		core := next
+		next++
+		var coreVal string
+		var leafVals [2]string
+		if class == 0 {
+			coreVal, leafVals = "coreA", [2]string{"leafX", "leafY"}
+		} else {
+			coreVal, leafVals = "coreB", [2]string{"leafY", "leafZ"}
+		}
+		// Label noise: occasionally swap in the other class's core.
+		if rng.Float64() < 0.1 {
+			if class == 0 {
+				coreVal = "coreB"
+			} else {
+				coreVal = "coreA"
+			}
+		}
+		_ = b.AddAttr(core, coreVal)
+		for _, lv := range leafVals {
+			leaf := next
+			next++
+			_ = b.AddAttr(leaf, lv)
+			_ = b.AddEdge(core, leaf)
+		}
+		if core > 0 {
+			_ = b.AddEdge(core, core-1)
+		}
+	}
+	return b.Build()
+}
+
+// referenceModel mines a mixed corpus so both class patterns appear.
+func referenceModel(t *testing.T) (*cspm.Model, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	// One big graph containing both classes' stars.
+	b := graph.NewBuilder(120)
+	next := graph.VertexID(0)
+	for s := 0; s < 20; s++ {
+		for class := 0; class < 2; class++ {
+			core := next
+			next++
+			if class == 0 {
+				_ = b.AddAttr(core, "coreA")
+			} else {
+				_ = b.AddAttr(core, "coreB")
+			}
+			leaves := [2]string{"leafX", "leafY"}
+			if class == 1 {
+				leaves = [2]string{"leafY", "leafZ"}
+			}
+			for _, lv := range leaves {
+				leaf := next
+				next++
+				_ = b.AddAttr(leaf, lv)
+				_ = b.AddEdge(core, leaf)
+			}
+			if core > 0 {
+				_ = b.AddEdge(core, core-1)
+			}
+		}
+	}
+	_ = rng
+	g := b.Build()
+	return cspm.Mine(g), g
+}
+
+func TestFeaturizerBasics(t *testing.T) {
+	model, g := referenceModel(t)
+	f, err := NewFeaturizer(model, g.Vocab(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dim() == 0 || f.Dim() > 8 {
+		t.Fatalf("Dim = %d", f.Dim())
+	}
+	rng := rand.New(rand.NewSource(2))
+	g0 := classGraph(rng, 0)
+	feats := f.Features(g0)
+	if len(feats) != f.Dim() {
+		t.Fatalf("feature length %d != dim %d", len(feats), f.Dim())
+	}
+	nonzero := 0
+	for _, x := range feats {
+		if x < 0 {
+			t.Fatalf("negative feature %v", x)
+		}
+		if x > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("class-0 graph matched no reference pattern")
+	}
+}
+
+func TestFeaturizerUnknownVocabulary(t *testing.T) {
+	model, g := referenceModel(t)
+	f, err := NewFeaturizer(model, g.Vocab(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A graph with a disjoint vocabulary must featurise to all zeros.
+	b := graph.NewBuilder(2)
+	_ = b.AddAttr(0, "unrelated")
+	_ = b.AddAttr(1, "values")
+	_ = b.AddEdge(0, 1)
+	for _, x := range f.Features(b.Build()) {
+		if x != 0 {
+			t.Fatalf("unknown-vocabulary graph got feature %v", x)
+		}
+	}
+}
+
+func TestFeaturizerValidation(t *testing.T) {
+	model, g := referenceModel(t)
+	if _, err := NewFeaturizer(model, g.Vocab(), 0); err == nil {
+		t.Error("topK=0 accepted")
+	}
+}
+
+func TestClassifyPlantedClasses(t *testing.T) {
+	model, g := referenceModel(t)
+	f, err := NewFeaturizer(model, g.Vocab(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var train []*graph.Graph
+	var trainY []int
+	for i := 0; i < 30; i++ {
+		class := i % 2
+		train = append(train, classGraph(rng, class))
+		trainY = append(trainY, class)
+	}
+	clf, err := Train(f, train, trainY, TrainOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var test []*graph.Graph
+	var testY []int
+	for i := 0; i < 20; i++ {
+		class := i % 2
+		test = append(test, classGraph(rng, class))
+		testY = append(testY, class)
+	}
+	acc := clf.Accuracy(test, testY)
+	if acc < 0.85 {
+		t.Fatalf("test accuracy %.2f < 0.85 on separable classes", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	model, g := referenceModel(t)
+	f, _ := NewFeaturizer(model, g.Vocab(), 5)
+	if _, err := Train(f, nil, nil, TrainOptions{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(f, []*graph.Graph{g}, []int{-1}, TrainOptions{}); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := Train(f, []*graph.Graph{g}, []int{0, 1}, TrainOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package cli implements the logic behind the cspm and gengraph commands so
+// it can be tested without spawning processes. The main packages stay thin
+// flag-parsing shells.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"cspm/internal/alarm"
+	"cspm/internal/cspm"
+	"cspm/internal/dataset"
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+	"cspm/internal/slim"
+)
+
+// MineConfig mirrors cmd/cspm's flags.
+type MineConfig struct {
+	Variant   string // "partial" or "basic"
+	MultiCore bool
+	Top       int
+	Stats     bool
+	MultiOnly bool
+}
+
+// Mine reads a graph from r, mines it per cfg, and writes the ranked
+// patterns to w.
+func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
+	g, err := graph.Load(r)
+	if err != nil {
+		return err
+	}
+	var model *cspm.Model
+	switch {
+	case cfg.MultiCore:
+		res := slim.Mine(slim.VertexTransactions(g), slim.Options{})
+		coresets, positions := slim.ItemsetsAsCoresets(res)
+		db, err := invdb.FromGraphWithCoresets(g, coresets, positions)
+		if err != nil {
+			return err
+		}
+		model = cspm.MineDB(db, g.Vocab(), cspm.Options{CollectStats: true})
+	case cfg.Variant == "basic":
+		model = cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic, CollectStats: true})
+	case cfg.Variant == "partial" || cfg.Variant == "":
+		model = cspm.Mine(g)
+	default:
+		return fmt.Errorf("unknown variant %q (want partial or basic)", cfg.Variant)
+	}
+	if cfg.Stats {
+		fmt.Fprintf(w, "# graph: %s\n", g.ComputeStats())
+		fmt.Fprintf(w, "# baseline DL: %.1f bits, final DL: %.1f bits (ratio %.3f)\n",
+			model.BaselineDL, model.FinalDL, model.CompressionRatio())
+		fmt.Fprintf(w, "# iterations: %d, gain evaluations: %d\n", model.Iterations, model.GainEvals)
+	}
+	patterns := model.Patterns
+	if cfg.MultiOnly {
+		patterns = model.MultiLeaf()
+	}
+	if cfg.Top > 0 && cfg.Top < len(patterns) {
+		patterns = patterns[:cfg.Top]
+	}
+	for _, p := range patterns {
+		fmt.Fprintf(w, "%-60s fL=%-6d fc=%-6d conf=%.3f len=%.3f\n",
+			p.Format(g.Vocab()), p.FL, p.FC, p.Confidence(), p.CodeLen)
+	}
+	return nil
+}
+
+// MineFile opens path ("-" means stdin) and mines it.
+func MineFile(path string, w io.Writer, cfg MineConfig) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	return Mine(in, w, cfg)
+}
+
+// Generate builds one of the named synthetic datasets.
+func Generate(name string, seed int64, nodes int) (*graph.Graph, error) {
+	switch name {
+	case "dblp":
+		return dataset.DBLP(seed), nil
+	case "dblptrend":
+		return dataset.DBLPTrend(seed), nil
+	case "usflight":
+		return dataset.USFlight(seed), nil
+	case "pokec":
+		cfg := dataset.DefaultPokec()
+		cfg.Seed = seed
+		if nodes > 0 {
+			cfg.Nodes = nodes
+		}
+		return dataset.Pokec(cfg), nil
+	case "planted":
+		cfg := dataset.DefaultPlanted()
+		cfg.Seed = seed
+		g, _ := dataset.Planted(cfg)
+		return g, nil
+	case "alarms":
+		cfg := alarm.DefaultSim()
+		cfg.Seed = seed
+		log, _, err := alarm.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return log.WindowGraph(cfg.WindowSec), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+// WriteGraph emits g with a stats header in the Load format.
+func WriteGraph(w io.Writer, g *graph.Graph, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		if _, err := fmt.Fprintf(bw, "# %s %s\n", header, g.ComputeStats()); err != nil {
+			return err
+		}
+	}
+	if err := graph.Write(bw, g); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,133 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fig1Text = `# paper Fig. 1
+v 0 a
+v 1 a c
+v 2 c
+v 3 b
+v 4 a b
+e 0 1
+e 0 2
+e 0 3
+e 2 4
+e 3 4
+`
+
+func TestMineDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "({a}, {b c})") {
+		t.Fatalf("expected merged pattern in output:\n%s", s)
+	}
+}
+
+func TestMineStatsHeader(t *testing.T) {
+	var out bytes.Buffer
+	if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{Stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# baseline DL") {
+		t.Fatal("stats header missing")
+	}
+}
+
+func TestMineTopAndMultiOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{Top: 1, MultiOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
+	if lines != 1 {
+		t.Fatalf("Top=1 printed %d lines:\n%s", lines, out.String())
+	}
+	if !strings.Contains(out.String(), "{") {
+		t.Fatal("no pattern printed")
+	}
+}
+
+func TestMineVariants(t *testing.T) {
+	for _, v := range []string{"partial", "basic"} {
+		var out bytes.Buffer
+		if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{Variant: v}); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+	if err := Mine(strings.NewReader(fig1Text), &bytes.Buffer{}, MineConfig{Variant: "bogus"}); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}
+
+func TestMineMultiCore(t *testing.T) {
+	var out bytes.Buffer
+	if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{MultiCore: true}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestMineBadInput(t *testing.T) {
+	if err := Mine(strings.NewReader("x nonsense\n"), &bytes.Buffer{}, MineConfig{}); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	for _, name := range []string{"dblp", "dblptrend", "usflight", "planted"} {
+		g, err := Generate(name, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+	if _, err := Generate("pokec", 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate("nope", 1, 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGeneratePokecNodesOverride(t *testing.T) {
+	g, err := Generate("pokec", 1, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 321 {
+		t.Fatalf("nodes override ignored: %d", g.NumVertices())
+	}
+}
+
+func TestWriteGraphRoundTrip(t *testing.T) {
+	g, err := Generate("usflight", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g, "dataset=usflight"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# dataset=usflight") {
+		t.Fatal("header missing")
+	}
+	// The emitted text must mine cleanly end to end.
+	var out bytes.Buffer
+	if err := Mine(strings.NewReader(buf.String()), &out, MineConfig{Top: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no patterns from generated dataset")
+	}
+}

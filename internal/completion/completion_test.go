@@ -1,0 +1,213 @@
+package completion
+
+import (
+	"math"
+	"testing"
+
+	"cspm/internal/cspm"
+	"cspm/internal/dataset"
+	"cspm/internal/graph"
+	"cspm/internal/tensor"
+)
+
+func smallTask(t *testing.T) *Task {
+	t.Helper()
+	g, _ := dataset.Citation(dataset.CitationConfig{
+		Name: "tiny", Nodes: 200, Classes: 4, Attrs: 40, AttrsPerNode: 5, Homophily: 0.9, Seed: 3,
+	})
+	task, err := NewTask(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewTaskSplit(t *testing.T) {
+	task := smallTask(t)
+	if len(task.TestNodes) == 0 {
+		t.Fatal("no test nodes selected")
+	}
+	for _, v := range task.TestNodes {
+		if task.TrainMask[v] {
+			t.Fatalf("test node %d still in train mask", v)
+		}
+		row := task.Masked.Row(int(v))
+		for j, x := range row {
+			if x != 0 {
+				t.Fatalf("test node %d kept attribute %d", v, j)
+			}
+		}
+		// Ground truth must still be present.
+		sum := 0.0
+		for _, x := range task.Attr.Row(int(v)) {
+			sum += x
+		}
+		if sum == 0 {
+			t.Fatalf("test node %d has empty ground truth", v)
+		}
+	}
+}
+
+func TestNewTaskValidation(t *testing.T) {
+	g, _ := dataset.Citation(dataset.CitationConfig{
+		Name: "tiny", Nodes: 50, Classes: 2, Attrs: 10, AttrsPerNode: 3, Homophily: 0.5, Seed: 1,
+	})
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewTask(g, frac, 1); err == nil {
+			t.Errorf("testFraction %v accepted", frac)
+		}
+	}
+}
+
+func TestTrainGraphHidesTestAttributes(t *testing.T) {
+	task := smallTask(t)
+	tg := task.TrainGraph()
+	if tg.NumVertices() != task.G.NumVertices() || tg.NumEdges() != task.G.NumEdges() {
+		t.Fatal("TrainGraph changed topology")
+	}
+	if tg.NumAttrValues() != task.G.NumAttrValues() {
+		t.Fatal("TrainGraph must keep the full vocabulary for id stability")
+	}
+	for _, v := range task.TestNodes {
+		if len(tg.Attrs(v)) != 0 {
+			t.Fatalf("test node %d leaked attributes into the train graph", v)
+		}
+	}
+	for v := 0; v < tg.NumVertices(); v++ {
+		if task.TrainMask[v] && len(tg.Attrs(graph.VertexID(v))) != len(task.G.Attrs(graph.VertexID(v))) {
+			t.Fatalf("train node %d lost attributes", v)
+		}
+	}
+}
+
+func TestNormalizedAdjacencyRowsFinite(t *testing.T) {
+	task := smallTask(t)
+	adj := task.NormalizedAdjacency()
+	for _, v := range adj.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Fatalf("bad adjacency weight %v", v)
+		}
+	}
+	mean := task.MeanAdjacency()
+	// Mean rows must sum to 1 (or 0 for isolated vertices).
+	for i := 0; i < mean.Rows; i++ {
+		sum := 0.0
+		for p := mean.RowPtr[i]; p < mean.RowPtr[i+1]; p++ {
+			sum += mean.Val[p]
+		}
+		if sum != 0 && math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mean adjacency row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestRankMetricsHandComputed(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.2}
+	truth := []float64{1, 0, 0, 1}
+	// Ranking: 0 (hit), 2, 1, 3. Top-2: one hit of two truths.
+	r, n := rankMetrics(scores, truth, 2)
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("recall@2 = %v, want 0.5", r)
+	}
+	wantNDCG := 1.0 / (1.0/math.Log2(2) + 1.0/math.Log2(3)) // dcg=1 at rank 0
+	if math.Abs(n-wantNDCG) > 1e-12 {
+		t.Fatalf("ndcg@2 = %v, want %v", n, wantNDCG)
+	}
+	// Perfect ranking at k=4.
+	r, n = rankMetrics([]float64{1, 0, 0, 0.9}, truth, 4)
+	if r != 1 || math.Abs(n-1) > 1e-12 {
+		t.Fatalf("perfect ranking gave recall=%v ndcg=%v", r, n)
+	}
+}
+
+func TestRankMetricsEmptyTruth(t *testing.T) {
+	r, n := rankMetrics([]float64{1, 2}, []float64{0, 0}, 2)
+	if r != 0 || n != 0 {
+		t.Fatal("empty truth should give zeros")
+	}
+}
+
+func TestMetricsMonotoneInK(t *testing.T) {
+	task := smallTask(t)
+	// Score with the ground truth perturbed — recall@K must not decrease in K.
+	scores := task.Attr.Clone()
+	m := Evaluate(task, scores, []int{1, 5, 10, 20})
+	prev := -1.0
+	for _, k := range []int{1, 5, 10, 20} {
+		if m.RecallAtK[k] < prev-1e-12 {
+			t.Fatalf("recall@%d = %v decreased", k, m.RecallAtK[k])
+		}
+		prev = m.RecallAtK[k]
+		if m.RecallAtK[k] < 0 || m.RecallAtK[k] > 1 || m.NDCGAtK[k] < 0 || m.NDCGAtK[k] > 1 {
+			t.Fatalf("metric out of range at k=%d", k)
+		}
+	}
+	// Oracle scores achieve perfect recall once K ≥ max true attrs.
+	if m.RecallAtK[20] < 0.999 {
+		t.Fatalf("oracle recall@20 = %v", m.RecallAtK[20])
+	}
+}
+
+func TestScorerRanksPlantedValue(t *testing.T) {
+	// Star graph: cores carry "target", leaves carry "ind". The scorer must
+	// rank "target" first for a hidden core whose neighbours carry "ind".
+	b := graph.NewBuilder(13)
+	for i := 0; i < 4; i++ {
+		core := graph.VertexID(i * 3)
+		_ = b.AddAttr(core, "target")
+		for j := 1; j <= 2; j++ {
+			leaf := core + graph.VertexID(j)
+			_ = b.AddAttr(leaf, "ind")
+			_ = b.AddEdge(core, leaf)
+		}
+		if i > 0 {
+			_ = b.AddEdge(core-1, core+1)
+		}
+	}
+	_ = b.AddAttr(12, "other")
+	_ = b.AddEdge(11, 12)
+	g := b.Build()
+	model := cspm.Mine(g)
+	sc := NewScorer(model, g)
+	scores := sc.ScoreNode(0)
+	target, _ := g.Vocab().Lookup("target")
+	other, _ := g.Vocab().Lookup("other")
+	if scores[target] <= scores[other] {
+		t.Fatalf("target %v not ranked above other %v", scores[target], scores[other])
+	}
+}
+
+func TestNormalizeRow(t *testing.T) {
+	out := normalizeRow([]float64{math.Inf(-1), 2, 4})
+	if out == nil {
+		t.Fatal("finite values present but nil returned")
+	}
+	if out[2] != 1 {
+		t.Fatalf("max should normalise to 1, got %v", out[2])
+	}
+	if out[0] >= out[1] {
+		t.Fatal("silent value should rank below scored values")
+	}
+	if normalizeRow([]float64{math.Inf(-1), math.Inf(-1)}) != nil {
+		t.Fatal("all-silent row should return nil")
+	}
+}
+
+func TestFuseFallsBackWhenCSPMSilent(t *testing.T) {
+	model := tensor.FromRows([][]float64{{0.2, 0.8}})
+	silent := tensor.FromRows([][]float64{{math.Inf(-1), math.Inf(-1)}})
+	fused := Fuse(model, silent, []graph.VertexID{0})
+	if fused.At(0, 1) <= fused.At(0, 0) {
+		t.Fatal("fusion with silent CSPM should preserve the model ranking")
+	}
+}
+
+func TestFuseCombinesSignals(t *testing.T) {
+	// Model is indifferent; CSPM prefers attribute 0 — fusion must too.
+	model := tensor.FromRows([][]float64{{0.5, 0.5}})
+	cspmScores := tensor.FromRows([][]float64{{-1.0, -5.0}})
+	fused := Fuse(model, cspmScores, []graph.VertexID{0})
+	if fused.At(0, 0) <= fused.At(0, 1) {
+		t.Fatal("fusion ignored the CSPM preference")
+	}
+}

@@ -1,0 +1,89 @@
+package completion
+
+import (
+	"math"
+	"sort"
+
+	"cspm/internal/tensor"
+)
+
+// Metrics aggregates Recall@K and NDCG@K over the test nodes (Table IV's
+// columns): Recall measures how many true attribute values surface in the
+// top K, NDCG how well they are ranked within it.
+type Metrics struct {
+	RecallAtK map[int]float64
+	NDCGAtK   map[int]float64
+}
+
+// Evaluate computes the metrics of a score matrix against the task's ground
+// truth for the given cut-offs.
+func Evaluate(task *Task, scores *tensor.Matrix, ks []int) Metrics {
+	m := Metrics{RecallAtK: make(map[int]float64), NDCGAtK: make(map[int]float64)}
+	if len(task.TestNodes) == 0 {
+		return m
+	}
+	for _, k := range ks {
+		recall, ndcg := 0.0, 0.0
+		for _, v := range task.TestNodes {
+			r, n := rankMetrics(scores.Row(int(v)), task.Attr.Row(int(v)), k)
+			recall += r
+			ndcg += n
+		}
+		cnt := float64(len(task.TestNodes))
+		m.RecallAtK[k] = recall / cnt
+		m.NDCGAtK[k] = ndcg / cnt
+	}
+	return m
+}
+
+// rankMetrics computes recall@k and NDCG@k for one node. Ties are broken by
+// attribute index for determinism.
+func rankMetrics(scores, truth []float64, k int) (recall, ndcg float64) {
+	nTrue := 0
+	for _, t := range truth {
+		if t > 0 {
+			nTrue++
+		}
+	}
+	if nTrue == 0 {
+		return 0, 0
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if sa != sb {
+			// NaN and -Inf sink to the bottom.
+			if math.IsNaN(sa) {
+				return false
+			}
+			if math.IsNaN(sb) {
+				return true
+			}
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	hits := 0
+	dcg := 0.0
+	for rank := 0; rank < k; rank++ {
+		if truth[idx[rank]] > 0 {
+			hits++
+			dcg += 1 / math.Log2(float64(rank)+2)
+		}
+	}
+	ideal := 0.0
+	for rank := 0; rank < k && rank < nTrue; rank++ {
+		ideal += 1 / math.Log2(float64(rank)+2)
+	}
+	recall = float64(hits) / float64(nTrue)
+	if ideal > 0 {
+		ndcg = dcg / ideal
+	}
+	return recall, ndcg
+}

@@ -1,0 +1,90 @@
+package completion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property battery for the ranking metrics: bounds, monotonicity in K, and
+// invariance under positive affine score transformations (ranking metrics
+// must only depend on the order).
+func TestRankMetricsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		scores := make([]float64, n)
+		truth := make([]float64, n)
+		anyTrue := false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			if rng.Float64() < 0.4 {
+				truth[i] = 1
+				anyTrue = true
+			}
+		}
+		if !anyTrue {
+			truth[rng.Intn(n)] = 1
+		}
+		prevR := -1.0
+		for k := 1; k <= n; k++ {
+			r, nd := rankMetrics(scores, truth, k)
+			if r < 0 || r > 1 || nd < 0 || nd > 1 {
+				return false
+			}
+			if r < prevR-1e-12 {
+				return false // recall must grow with K
+			}
+			prevR = r
+		}
+		// Affine transform invariance.
+		shifted := make([]float64, n)
+		for i, s := range scores {
+			shifted[i] = 3*s + 11
+		}
+		for _, k := range []int{1, n / 2, n} {
+			if k == 0 {
+				continue
+			}
+			r1, n1 := rankMetrics(scores, truth, k)
+			r2, n2 := rankMetrics(shifted, truth, k)
+			if r1 != r2 || n1 != n2 {
+				return false
+			}
+		}
+		// Oracle scores (the truth itself) maximise both metrics at k = n.
+		r, nd := rankMetrics(truth, truth, n)
+		return r == 1 && nd == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fusing a score row with itself preserves its ranking.
+func TestFuseSelfPreservesRankingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = rng.Float64()
+		}
+		norm := normalizeRow(row)
+		if norm == nil {
+			return true
+		}
+		// The row is min-max normalised; pairwise order must be unchanged.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (row[i] < row[j]) != (norm[i] < norm[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package completion
+
+import (
+	"math"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+	"cspm/internal/tensor"
+)
+
+// Scorer ranks candidate attribute values for attribute-missing vertices
+// using a mined a-star model (paper Algorithm 5): a core value whose a-star
+// leafset resembles the vertex's neighbour attributes — and whose code is
+// short — is a likely missing value.
+type Scorer struct {
+	model *cspm.Model
+	g     *graph.Graph
+}
+
+// NewScorer builds a scorer from a model mined on (a training view of) g.
+func NewScorer(model *cspm.Model, g *graph.Graph) *Scorer {
+	return &Scorer{model: model, g: g}
+}
+
+// neighborAttrs collects the attribute-value set visible around v.
+func (s *Scorer) neighborAttrs(v graph.VertexID) map[graph.AttrID]struct{} {
+	out := make(map[graph.AttrID]struct{})
+	for _, u := range s.g.Neighbors(v) {
+		for _, a := range s.g.Attrs(u) {
+			out[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+// similarity is the weight w of Algorithm 5: how well the a-star's leafset
+// matches the neighbours' values. We use the Jaccard-style overlap
+// |SL ∩ N| / |SL|, inverted into a weight where a worse match means a larger
+// w and hence a smaller (more negative) score.
+func similarity(leaf []graph.AttrID, neighbors map[graph.AttrID]struct{}) float64 {
+	if len(leaf) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, a := range leaf {
+		if _, ok := neighbors[a]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(leaf))
+}
+
+// ScoreNode returns a score per attribute value for vertex v: higher is more
+// likely. Values never seen in any a-star keep −Inf (Algorithm 5 line 1).
+func (s *Scorer) ScoreNode(v graph.VertexID) []float64 {
+	nA := s.g.NumAttrValues()
+	scores := make([]float64, nA)
+	for i := range scores {
+		scores[i] = math.Inf(-1)
+	}
+	neighbors := s.neighborAttrs(v)
+	for _, p := range s.model.Patterns {
+		match := similarity(p.LeafValues, neighbors)
+		// Algorithm 5 line 5–6: w grows as similarity falls; cl = −w·L(S).
+		w := 2 - match
+		cl := -w * p.CodeLen
+		for _, cv := range p.CoreValues {
+			if cl > scores[cv] {
+				scores[cv] = cl
+			}
+		}
+	}
+	return scores
+}
+
+// ScoreMatrix scores every test node of the task, returning an n×|A| matrix
+// with zero rows for non-test vertices.
+func (s *Scorer) ScoreMatrix(task *Task) *tensor.Matrix {
+	out := tensor.NewMatrix(task.G.NumVertices(), task.NumAttr)
+	for _, v := range task.TestNodes {
+		row := out.Row(int(v))
+		copy(row, s.ScoreNode(v))
+	}
+	return out
+}
+
+// Fuse combines model probabilities with CSPM scores as in Fig. 7: both
+// score vectors are min-max normalised per row and multiplied. Rows where
+// CSPM is silent (all −Inf) fall back to the model alone.
+func Fuse(modelScores, cspmScores *tensor.Matrix, testNodes []graph.VertexID) *tensor.Matrix {
+	out := modelScores.Clone()
+	for _, v := range testNodes {
+		mrow := out.Row(int(v))
+		crow := cspmScores.Row(int(v))
+		mn := normalizeRow(mrow)
+		cn := normalizeRow(crow)
+		if cn == nil {
+			copy(mrow, mn)
+			continue
+		}
+		for j := range mrow {
+			mrow[j] = mn[j] * cn[j]
+		}
+	}
+	return out
+}
+
+// normalizeRow min-max normalises a copy of row into [ε, 1]; returns nil if
+// the row carries no finite signal. The ε floor keeps the multiplication
+// from zeroing a value that one source is merely lukewarm about.
+func normalizeRow(row []float64) []float64 {
+	const eps = 1e-3
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range row {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return nil // nothing finite
+	}
+	out := make([]float64, len(row))
+	span := hi - lo
+	for j, v := range row {
+		switch {
+		case math.IsInf(v, -1) || math.IsNaN(v):
+			out[j] = eps / 2 // silent values rank below every scored value
+		case span == 0:
+			out[j] = 1
+		default:
+			out[j] = eps + (1-eps)*(v-lo)/span
+		}
+	}
+	return out
+}

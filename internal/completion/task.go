@@ -1,0 +1,150 @@
+// Package completion implements the node-attribute-completion study of
+// paper §VI-C: the task definition (attribute-missing graphs), the CSPM
+// scoring module (Algorithm 5), the fusion of CSPM scores with model
+// probabilities (Fig. 7), and the Recall@K / NDCG@K metrics of Table IV.
+package completion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cspm/internal/graph"
+	"cspm/internal/tensor"
+)
+
+// Task is an attribute-completion instance: a graph whose test vertices have
+// their attributes hidden. Models see Attr zeroed on test rows and must rank
+// the true attribute values highly.
+type Task struct {
+	G       *graph.Graph
+	NumAttr int
+
+	// Attr is the full n×|A| binary attribute matrix (ground truth).
+	Attr *tensor.Matrix
+	// Masked is Attr with test rows zeroed (the models' input/targets).
+	Masked *tensor.Matrix
+
+	TrainMask []bool
+	TestNodes []graph.VertexID
+}
+
+// NewTask hides the attributes of a testFraction of vertices, selected
+// deterministically from seed. Vertices without attributes are never chosen.
+func NewTask(g *graph.Graph, testFraction float64, seed int64) (*Task, error) {
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, fmt.Errorf("completion: testFraction must be in (0,1), got %v", testFraction)
+	}
+	n := g.NumVertices()
+	nA := g.NumAttrValues()
+	task := &Task{
+		G:         g,
+		NumAttr:   nA,
+		Attr:      tensor.NewMatrix(n, nA),
+		TrainMask: make([]bool, n),
+	}
+	var candidates []graph.VertexID
+	for v := 0; v < n; v++ {
+		for _, a := range g.Attrs(graph.VertexID(v)) {
+			task.Attr.Set(v, int(a), 1)
+		}
+		task.TrainMask[v] = true
+		if len(g.Attrs(graph.VertexID(v))) > 0 {
+			candidates = append(candidates, graph.VertexID(v))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	k := int(testFraction * float64(len(candidates)))
+	if k == 0 {
+		k = 1
+	}
+	task.TestNodes = append([]graph.VertexID(nil), candidates[:k]...)
+	sort.Slice(task.TestNodes, func(i, j int) bool { return task.TestNodes[i] < task.TestNodes[j] })
+	task.Masked = task.Attr.Clone()
+	for _, v := range task.TestNodes {
+		task.TrainMask[v] = false
+		row := task.Masked.Row(int(v))
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	return task, nil
+}
+
+// TrainGraph returns a copy of the underlying graph with the test vertices'
+// attributes removed — the view CSPM is allowed to mine (no test leakage).
+func (t *Task) TrainGraph() *graph.Graph {
+	b := graph.NewBuilder(t.G.NumVertices())
+	// Intern the full vocabulary first so AttrIDs coincide with t.G's.
+	for _, name := range t.G.Vocab().Names() {
+		b.Vocab().ID(name)
+	}
+	hidden := make(map[graph.VertexID]bool, len(t.TestNodes))
+	for _, v := range t.TestNodes {
+		hidden[v] = true
+	}
+	for v := 0; v < t.G.NumVertices(); v++ {
+		if hidden[graph.VertexID(v)] {
+			continue
+		}
+		for _, a := range t.G.Attrs(graph.VertexID(v)) {
+			_ = b.AddAttrID(graph.VertexID(v), a)
+		}
+	}
+	for u := 0; u < t.G.NumVertices(); u++ {
+		for _, v := range t.G.Neighbors(graph.VertexID(u)) {
+			if graph.VertexID(u) < v {
+				_ = b.AddEdge(graph.VertexID(u), v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NormalizedAdjacency returns the GCN propagation matrix
+// D̂^(−1/2)(A+I)D̂^(−1/2) as CSR.
+func (t *Task) NormalizedAdjacency() *tensor.CSR {
+	n := t.G.NumVertices()
+	deg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg[v] = float64(t.G.Degree(graph.VertexID(v)) + 1) // self-loop
+	}
+	entries := make([][]tensor.SparseEntry, n)
+	for v := 0; v < n; v++ {
+		row := make([]tensor.SparseEntry, 0, t.G.Degree(graph.VertexID(v))+1)
+		row = append(row, tensor.SparseEntry{Col: v, Val: 1 / deg[v]}) // normalised self-loop
+		for _, u := range t.G.Neighbors(graph.VertexID(v)) {
+			row = append(row, tensor.SparseEntry{
+				Col: int(u),
+				Val: 1 / (sqrt(deg[v]) * sqrt(deg[u])),
+			})
+		}
+		entries[v] = row
+	}
+	return tensor.NewCSR(n, n, entries)
+}
+
+// MeanAdjacency returns the row-normalised neighbour-mean propagation matrix
+// (GraphSage mean aggregator), without self-loops.
+func (t *Task) MeanAdjacency() *tensor.CSR {
+	n := t.G.NumVertices()
+	entries := make([][]tensor.SparseEntry, n)
+	for v := 0; v < n; v++ {
+		d := t.G.Degree(graph.VertexID(v))
+		if d == 0 {
+			continue
+		}
+		row := make([]tensor.SparseEntry, 0, d)
+		for _, u := range t.G.Neighbors(graph.VertexID(v)) {
+			row = append(row, tensor.SparseEntry{Col: int(u), Val: 1 / float64(d)})
+		}
+		entries[v] = row
+	}
+	return tensor.NewCSR(n, n, entries)
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

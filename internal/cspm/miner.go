@@ -1,0 +1,411 @@
+package cspm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+)
+
+// Variant selects the search strategy. Both produce compressing a-star
+// models; Partial is the optimised algorithm evaluated in the paper (§V).
+type Variant int
+
+const (
+	// Partial is CSPM-Partial (Algorithms 3–4): after each merge only the
+	// gains related to the merged pair are refreshed.
+	Partial Variant = iota
+	// Basic is CSPM-Basic (Algorithms 1–2): every iteration regenerates the
+	// full candidate list.
+	Basic
+)
+
+func (v Variant) String() string {
+	if v == Basic {
+		return "CSPM-Basic"
+	}
+	return "CSPM-Partial"
+}
+
+// Options configures a mining run. CSPM is parameter-free: the zero value
+// (Partial variant, single-value coresets, no iteration cap) reproduces the
+// paper's default behaviour, and the remaining knobs exist for experiments
+// and safety rails, not for result tuning.
+type Options struct {
+	Variant Variant
+	// MaxIterations caps merge iterations (0 = unlimited). Used only by
+	// tests and benchmarks that need bounded runs.
+	MaxIterations int
+	// CollectStats enables per-iteration gain-update bookkeeping (Fig. 5).
+	// It is cheap and on by default in Mine.
+	CollectStats bool
+	// DisableModelCost drops the L(M) term from merge gains, leaving the
+	// pure Eq. 9 data gain. Exposed for the ablation benchmark; the default
+	// (false) is the documented reconstruction.
+	DisableModelCost bool
+	// Workers parallelises gain evaluation across goroutines (the paper's
+	// future-work item 3, at shared-memory scale). Candidate gains are pure
+	// reads of the inverted database, so evaluation is embarrassingly
+	// parallel; merges stay sequential. 0 or 1 means serial; results are
+	// identical either way.
+	Workers int
+}
+
+// Mine runs CSPM on an attributed graph with single-value coresets and
+// default options (CSPM-Partial). This is the parameter-free entry point.
+func Mine(g *graph.Graph) *Model {
+	return MineWithOptions(g, Options{CollectStats: true})
+}
+
+// MineWithOptions runs CSPM on g with explicit options.
+func MineWithOptions(g *graph.Graph, opts Options) *Model {
+	db := invdb.FromGraph(g)
+	return MineDB(db, g.Vocab(), opts)
+}
+
+// MineDB runs the merge search on a prepared inverted database. The caller
+// supplies the vocabulary used for rendering patterns (nil is allowed when
+// patterns are consumed as AttrIDs only).
+func MineDB(db *invdb.DB, vocab *graph.Vocab, opts Options) *Model {
+	var st *runStats
+	if opts.CollectStats {
+		st = &runStats{}
+	}
+	switch opts.Variant {
+	case Basic:
+		mineBasic(db, opts, st)
+	default:
+		minePartial(db, opts, st)
+	}
+	m := extractModel(db, vocab)
+	m.BaselineDL = db.BaselineDL()
+	m.FinalDL = db.TotalDL()
+	if st != nil {
+		m.Iterations = st.iterations
+		m.GainEvals = st.gainEvals
+		m.PerIter = st.perIter
+	}
+	return m
+}
+
+// runStats accumulates the diagnostics surfaced on Model.
+type runStats struct {
+	iterations int
+	gainEvals  int
+	perIter    []IterationStat
+}
+
+func (st *runStats) record(db *invdb.DB, updates, possible int, gain float64) {
+	if st == nil {
+		return
+	}
+	st.iterations++
+	st.gainEvals += updates
+	ratio := 0.0
+	if possible > 0 {
+		ratio = float64(updates) / float64(possible)
+	}
+	st.perIter = append(st.perIter, IterationStat{
+		Iteration:     st.iterations,
+		GainUpdates:   updates,
+		PossiblePairs: possible,
+		UpdateRatio:   ratio,
+		Gain:          gain,
+		TotalDL:       db.TotalDL(),
+	})
+}
+
+// evalGain evaluates a pair's gain honouring the ablation switch.
+func evalGain(db *invdb.DB, opts Options, x, y invdb.LeafsetID) float64 {
+	ev := db.EvalMerge(x, y)
+	if ev.CoOccurs == 0 {
+		return 0
+	}
+	if opts.DisableModelCost {
+		return ev.DataGain
+	}
+	return ev.Gain
+}
+
+// forEachCoOccurringPair invokes fn once per unordered pair of leafsets that
+// share at least one coreset — the only pairs that can ever have positive
+// gain (paper §V). Iteration order is deterministic.
+func forEachCoOccurringPair(db *invdb.DB, fn func(x, y invdb.LeafsetID)) {
+	seen := make(map[uint64]struct{})
+	for c := 0; c < db.NumCoresets(); c++ {
+		lines := db.LinesOf(invdb.CoresetID(c))
+		if len(lines) < 2 {
+			continue
+		}
+		ids := make([]invdb.LeafsetID, 0, len(lines))
+		for ls := range lines {
+			ids = append(ids, ls)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				k := pairKey(ids[i], ids[j])
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				fn(ids[i], ids[j])
+			}
+		}
+	}
+}
+
+// coOccurring returns, in deterministic order, the leafsets sharing at
+// least one coreset with ls.
+func coOccurring(db *invdb.DB, ls invdb.LeafsetID) []invdb.LeafsetID {
+	seen := make(map[invdb.LeafsetID]struct{})
+	var out []invdb.LeafsetID
+	for e := range db.CoresetsOf(ls) {
+		for other := range db.LinesOf(e) {
+			if other == ls {
+				continue
+			}
+			if _, ok := seen[other]; !ok {
+				seen[other] = struct{}{}
+				out = append(out, other)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// collectCoOccurringPairs materialises the co-occurring pairs in the
+// deterministic enumeration order.
+func collectCoOccurringPairs(db *invdb.DB) []uint64 {
+	var out []uint64
+	forEachCoOccurringPair(db, func(x, y invdb.LeafsetID) {
+		out = append(out, pairKey(x, y))
+	})
+	return out
+}
+
+// evalPairs computes gains for all pairs, optionally across workers. The
+// returned slice is index-aligned with pairs, so parallelism cannot change
+// any downstream decision.
+func evalPairs(db *invdb.DB, opts Options, pairs []uint64) []float64 {
+	gains := make([]float64, len(pairs))
+	workers := opts.Workers
+	if workers <= 1 || len(pairs) < 256 {
+		for i, k := range pairs {
+			x, y := unpackPair(k)
+			gains[i] = evalGain(db, opts, x, y)
+		}
+		return gains
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				x, y := unpackPair(pairs[i])
+				gains[i] = evalGain(db, opts, x, y)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return gains
+}
+
+// mineBasic is Algorithm 1: regenerate all candidates each iteration, merge
+// the best pair, repeat until nothing compresses.
+func mineBasic(db *invdb.DB, opts Options, st *runStats) {
+	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		n := db.NumActiveLeafsets()
+		possible := n * (n - 1) / 2
+		pairs := collectCoOccurringPairs(db)
+		gains := evalPairs(db, opts, pairs)
+		var bestX, bestY invdb.LeafsetID
+		bestGain := 0.0
+		for i, g := range gains {
+			if g > bestGain {
+				bestGain = g
+				bestX, bestY = unpackPair(pairs[i])
+			}
+		}
+		if bestGain <= 0 {
+			return
+		}
+		res := db.ApplyMerge(bestX, bestY)
+		st.record(db, len(pairs), possible, res.Gain)
+	}
+}
+
+// rdict is the related-leafset dictionary of CSPM-Partial: rdict[x] holds
+// every leafset that currently forms a positive-gain candidate with x.
+type rdict map[invdb.LeafsetID]map[invdb.LeafsetID]struct{}
+
+func (r rdict) add(a, b invdb.LeafsetID) {
+	if r[a] == nil {
+		r[a] = make(map[invdb.LeafsetID]struct{})
+	}
+	r[a][b] = struct{}{}
+	if r[b] == nil {
+		r[b] = make(map[invdb.LeafsetID]struct{})
+	}
+	r[b][a] = struct{}{}
+}
+
+func (r rdict) removePair(a, b invdb.LeafsetID) {
+	if m := r[a]; m != nil {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(r, a)
+		}
+	}
+	if m := r[b]; m != nil {
+		delete(m, a)
+		if len(m) == 0 {
+			delete(r, b)
+		}
+	}
+}
+
+// removeLeafset drops a leafset and all its pairs, clearing candidates too.
+func (r rdict) removeLeafset(x invdb.LeafsetID, cs *candidateSet) {
+	for rel := range r[x] {
+		cs.Remove(x, rel)
+		delete(r[rel], x)
+		if len(r[rel]) == 0 {
+			delete(r, rel)
+		}
+	}
+	delete(r, x)
+}
+
+// related returns a sorted snapshot of rdict[x].
+func (r rdict) related(x invdb.LeafsetID) []invdb.LeafsetID {
+	m := r[x]
+	out := make([]invdb.LeafsetID, 0, len(m))
+	for rel := range m {
+		out = append(out, rel)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// minePartial is Algorithms 3–4: seed candidates once, then after each merge
+// only (1) remove candidates of totally merged leafsets, (2) evaluate the
+// new leafset against the intersection of the merged pair's relations, and
+// (3) refresh pairs touching partially merged leafsets.
+func minePartial(db *invdb.DB, opts Options, st *runStats) {
+	cands := newCandidateSet()
+	rd := make(rdict)
+	seedPairs := collectCoOccurringPairs(db)
+	seedGains := evalPairs(db, opts, seedPairs)
+	for i, k := range seedPairs {
+		if g := seedGains[i]; g > 0 {
+			x, y := unpackPair(k)
+			cands.Set(x, y, g)
+			rd.add(x, y)
+		}
+	}
+	merges := 0
+	// Distinct pairs whose gain was evaluated since the last committed
+	// merge; Fig. 5's update ratio counts each pair once per iteration.
+	evaled := make(map[uint64]struct{})
+	for opts.MaxIterations == 0 || merges < opts.MaxIterations {
+		x, y, _, ok := cands.PopMax()
+		if !ok {
+			return
+		}
+		n := db.NumActiveLeafsets()
+		possible := n * (n - 1) / 2
+		// Gains of pairs untouched by a merge can only shrink (their shared
+		// coreset frequencies fall), so the stored gain is an upper bound.
+		// Re-evaluate lazily on pop and re-queue if another pair now leads —
+		// this recovers the exact greedy order without eager refreshes.
+		evaled[pairKey(x, y)] = struct{}{}
+		g := evalGain(db, opts, x, y)
+		if g <= 0 {
+			rd.removePair(x, y)
+			continue
+		}
+		if top, live := cands.PeekGain(); live && g < top-1e-12 {
+			cands.Set(x, y, g)
+			continue
+		}
+		rd.removePair(x, y)
+		res := db.ApplyMerge(x, y)
+		if len(res.Shared) == 0 {
+			st.record(db, len(evaled), possible, 0)
+			evaled = make(map[uint64]struct{})
+			merges++
+			continue
+		}
+		// (1) Remove totally merged leafsets and their candidates.
+		for _, t := range res.Total {
+			rd.removeLeafset(t, cands)
+		}
+		// (2) Add pairs with the new leafset. Algorithm 4 line 6 draws these
+		// from rdict[x] ∩ rdict[y]; we enumerate the leafsets co-occurring
+		// with the new pattern instead — a superset of that intersection
+		// (positions of the new lines lie inside both parents') that keeps
+		// Partial's search aligned with Basic when a parent pair was not
+		// itself a positive candidate. §V's sparsity observation still
+		// bounds the work: only co-occurring leafsets are touched.
+		if len(db.CoresetsOf(res.New)) > 0 {
+			for _, rel := range coOccurring(db, res.New) {
+				evaled[pairKey(rel, res.New)] = struct{}{}
+				if g := evalGain(db, opts, rel, res.New); g > 0 {
+					cands.Set(rel, res.New, g)
+					rd.add(rel, res.New)
+				}
+			}
+		}
+		// (3) Refresh pairs whose gain the merge influenced: every pair that
+		// touches a partially merged leafset. Its lines shrank, so gains in
+		// both directions are possible (a previously useless pair can flip
+		// positive when the leftover positions align better); co-occurrence
+		// bounds the work exactly as §V observes.
+		for _, p := range res.Part {
+			if p == res.New {
+				continue
+			}
+			if len(db.CoresetsOf(p)) == 0 {
+				continue
+			}
+			for _, rel := range coOccurring(db, p) {
+				if rel == res.New {
+					continue // handled in step 2
+				}
+				evaled[pairKey(p, rel)] = struct{}{}
+				if g := evalGain(db, opts, p, rel); g > 0 {
+					cands.Set(p, rel, g)
+					rd.add(p, rel)
+				} else {
+					cands.Remove(p, rel)
+					rd.removePair(p, rel)
+				}
+			}
+		}
+		st.record(db, len(evaled), possible, res.Gain)
+		evaled = make(map[uint64]struct{})
+		merges++
+	}
+}
+
+// Validate sanity-checks options.
+func (o Options) Validate() error {
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("cspm: MaxIterations must be >= 0, got %d", o.MaxIterations)
+	}
+	return nil
+}

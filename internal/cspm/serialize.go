@@ -1,0 +1,111 @@
+package cspm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cspm/internal/graph"
+)
+
+// The on-disk model format stores patterns by attribute-value name so a
+// model mined in one process can score graphs with independently built
+// vocabularies. The format is versioned for forward compatibility.
+
+const modelFormatVersion = 1
+
+type modelJSON struct {
+	Version     int           `json:"version"`
+	BaselineDL  float64       `json:"baseline_dl"`
+	FinalDL     float64       `json:"final_dl"`
+	Iterations  int           `json:"iterations"`
+	CondEntropy float64       `json:"cond_entropy"`
+	Patterns    []patternJSON `json:"patterns"`
+}
+
+type patternJSON struct {
+	Core    []string `json:"core"`
+	Leaf    []string `json:"leaf"`
+	FL      int      `json:"fl"`
+	FC      int      `json:"fc"`
+	CodeLen float64  `json:"code_len"`
+}
+
+// WriteJSON serialises the model. The model must carry a vocabulary (models
+// produced by Mine/MineWithOptions/MineDB with a non-nil vocab do).
+func (m *Model) WriteJSON(w io.Writer) error {
+	if m.Vocab == nil {
+		return fmt.Errorf("cspm: model has no vocabulary; cannot serialise by name")
+	}
+	out := modelJSON{
+		Version:     modelFormatVersion,
+		BaselineDL:  m.BaselineDL,
+		FinalDL:     m.FinalDL,
+		Iterations:  m.Iterations,
+		CondEntropy: m.CondEntropy,
+	}
+	for _, p := range m.Patterns {
+		pj := patternJSON{FL: p.FL, FC: p.FC, CodeLen: p.CodeLen}
+		for _, a := range p.CoreValues {
+			pj.Core = append(pj.Core, m.Vocab.Name(a))
+		}
+		for _, a := range p.LeafValues {
+			pj.Leaf = append(pj.Leaf, m.Vocab.Name(a))
+		}
+		out.Patterns = append(out.Patterns, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserialises a model, interning pattern values into vocab (which
+// may be an existing graph's vocabulary — values already present keep their
+// ids, new ones are added).
+func ReadJSON(r io.Reader, vocab *graph.Vocab) (*Model, error) {
+	var in modelJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("cspm: decoding model: %w", err)
+	}
+	if in.Version != modelFormatVersion {
+		return nil, fmt.Errorf("cspm: unsupported model format version %d (want %d)", in.Version, modelFormatVersion)
+	}
+	if vocab == nil {
+		vocab = graph.NewVocab()
+	}
+	m := &Model{
+		Vocab:       vocab,
+		BaselineDL:  in.BaselineDL,
+		FinalDL:     in.FinalDL,
+		Iterations:  in.Iterations,
+		CondEntropy: in.CondEntropy,
+	}
+	for i, pj := range in.Patterns {
+		if len(pj.Leaf) == 0 || len(pj.Core) == 0 {
+			return nil, fmt.Errorf("cspm: pattern %d has empty core or leaf", i)
+		}
+		if pj.FL < 0 || pj.FC < pj.FL {
+			return nil, fmt.Errorf("cspm: pattern %d has inconsistent frequencies fL=%d fc=%d", i, pj.FL, pj.FC)
+		}
+		p := AStar{FL: pj.FL, FC: pj.FC, CodeLen: pj.CodeLen}
+		for _, n := range pj.Core {
+			p.CoreValues = append(p.CoreValues, vocab.ID(n))
+		}
+		for _, n := range pj.Leaf {
+			p.LeafValues = append(p.LeafValues, vocab.ID(n))
+		}
+		sortAttrs(p.CoreValues)
+		sortAttrs(p.LeafValues)
+		m.Patterns = append(m.Patterns, p)
+	}
+	return m, nil
+}
+
+func sortAttrs(a []graph.AttrID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

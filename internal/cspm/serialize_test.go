@@ -1,0 +1,150 @@
+package cspm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cspm/internal/graph"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	g := fig1(t)
+	m := Mine(g)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadJSON(&buf, g.Vocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Patterns) != len(m.Patterns) {
+		t.Fatalf("pattern count %d != %d", len(m2.Patterns), len(m.Patterns))
+	}
+	for i := range m.Patterns {
+		a, b := m.Patterns[i], m2.Patterns[i]
+		if a.Format(g.Vocab()) != b.Format(g.Vocab()) || a.FL != b.FL || a.FC != b.FC || a.CodeLen != b.CodeLen {
+			t.Fatalf("pattern %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+	if m2.FinalDL != m.FinalDL || m2.BaselineDL != m.BaselineDL {
+		t.Fatal("DL metadata lost")
+	}
+}
+
+func TestModelJSONFreshVocab(t *testing.T) {
+	g := fig1(t)
+	m := Mine(g)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a nil vocab: names intern fresh but formats must agree.
+	m2, err := ReadJSON(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Patterns {
+		if m.Patterns[i].Format(g.Vocab()) != m2.Patterns[i].Format(m2.Vocab) {
+			t.Fatalf("pattern %d renders differently under fresh vocab", i)
+		}
+	}
+}
+
+func TestModelJSONValidation(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json"), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99}`), nil); err == nil {
+		t.Error("future version accepted")
+	}
+	bad := `{"version":1,"patterns":[{"core":["a"],"leaf":[],"fl":1,"fc":1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad), nil); err == nil {
+		t.Error("empty leaf accepted")
+	}
+	badFreq := `{"version":1,"patterns":[{"core":["a"],"leaf":["b"],"fl":5,"fc":2}]}`
+	if _, err := ReadJSON(strings.NewReader(badFreq), nil); err == nil {
+		t.Error("fL > fc accepted")
+	}
+	noVocab := &Model{}
+	if err := noVocab.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("vocabulary-less model serialised")
+	}
+}
+
+func TestStepperMatchesMine(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, 40, 6, 0.14, 0.4)
+	whole := MineWithOptions(g, Options{CollectStats: true})
+
+	s := NewStepper(g, Options{})
+	steps := 0
+	prevDL := s.BaselineDL()
+	for {
+		res, ok := s.Step()
+		if !ok {
+			break
+		}
+		steps++
+		if res.Gain <= 0 {
+			t.Fatalf("step %d applied non-positive gain %v", steps, res.Gain)
+		}
+		if res.TotalDL > prevDL {
+			t.Fatalf("step %d increased DL", steps)
+		}
+		prevDL = res.TotalDL
+		if len(res.NewLeafset) < 2 {
+			t.Fatalf("step %d produced leafset of size %d", steps, len(res.NewLeafset))
+		}
+	}
+	if !s.Done() {
+		t.Fatal("Done false after exhaustion")
+	}
+	if _, ok := s.Step(); ok {
+		t.Fatal("Step after done returned a merge")
+	}
+	final := s.Snapshot()
+	if final.FinalDL != whole.FinalDL {
+		t.Fatalf("stepper DL %v != Mine DL %v", final.FinalDL, whole.FinalDL)
+	}
+	if steps != whole.Iterations {
+		t.Fatalf("stepper did %d merges, Mine did %d", steps, whole.Iterations)
+	}
+	if len(final.Patterns) != len(whole.Patterns) {
+		t.Fatal("pattern sets differ")
+	}
+}
+
+func TestStepperAnytimeSnapshot(t *testing.T) {
+	g := fig1(t)
+	s := NewStepper(g, Options{})
+	if _, ok := s.Step(); !ok {
+		t.Fatal("fig1 should allow at least one merge")
+	}
+	mid := s.Snapshot()
+	if mid.FinalDL >= mid.BaselineDL {
+		t.Fatal("snapshot after one merge should compress")
+	}
+	if mid.Iterations != 1 {
+		t.Fatalf("Iterations = %d, want 1", mid.Iterations)
+	}
+	// The snapshot is independent of further steps.
+	for {
+		if _, ok := s.Step(); !ok {
+			break
+		}
+	}
+	if mid.Iterations != 1 {
+		t.Fatal("snapshot mutated by later steps")
+	}
+}
+
+func TestSortAttrs(t *testing.T) {
+	a := []graph.AttrID{3, 1, 2}
+	sortAttrs(a)
+	if a[0] != 1 || a[1] != 2 || a[2] != 3 {
+		t.Fatalf("sortAttrs = %v", a)
+	}
+}

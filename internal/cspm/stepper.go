@@ -1,0 +1,129 @@
+package cspm
+
+import (
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+)
+
+// Stepper exposes the CSPM-Partial search one merge at a time, for
+// debugging, visualisation, and anytime mining (stop whenever the model is
+// good enough — every prefix of the merge sequence is a valid lossless
+// model). Construct with NewStepper, call Step until it returns false, and
+// read Snapshot for the current model at any point.
+type Stepper struct {
+	db    *invdb.DB
+	vocab *graph.Vocab
+	opts  Options
+
+	cands  *candidateSet
+	rd     rdict
+	merges int
+	doneC  bool
+}
+
+// NewStepper builds the inverted database and seeds the candidate set.
+func NewStepper(g *graph.Graph, opts Options) *Stepper {
+	db := invdb.FromGraph(g)
+	s := &Stepper{db: db, vocab: g.Vocab(), opts: opts, cands: newCandidateSet(), rd: make(rdict)}
+	pairs := collectCoOccurringPairs(db)
+	gains := evalPairs(db, opts, pairs)
+	for i, k := range pairs {
+		if g := gains[i]; g > 0 {
+			x, y := unpackPair(k)
+			s.cands.Set(x, y, g)
+			s.rd.add(x, y)
+		}
+	}
+	return s
+}
+
+// Step applies the next best merge. It returns the realised merge result
+// and true, or a zero result and false when nothing compresses any more.
+func (s *Stepper) Step() (StepResult, bool) {
+	if s.doneC {
+		return StepResult{}, false
+	}
+	for {
+		x, y, _, ok := s.cands.PopMax()
+		if !ok {
+			s.doneC = true
+			return StepResult{}, false
+		}
+		g := evalGain(s.db, s.opts, x, y)
+		if g <= 0 {
+			s.rd.removePair(x, y)
+			continue
+		}
+		if top, live := s.cands.PeekGain(); live && g < top-1e-12 {
+			s.cands.Set(x, y, g)
+			continue
+		}
+		s.rd.removePair(x, y)
+		res := s.db.ApplyMerge(x, y)
+		if len(res.Shared) == 0 {
+			continue
+		}
+		for _, t := range res.Total {
+			s.rd.removeLeafset(t, s.cands)
+		}
+		if len(s.db.CoresetsOf(res.New)) > 0 {
+			for _, rel := range coOccurring(s.db, res.New) {
+				if g := evalGain(s.db, s.opts, rel, res.New); g > 0 {
+					s.cands.Set(rel, res.New, g)
+					s.rd.add(rel, res.New)
+				}
+			}
+		}
+		for _, p := range res.Part {
+			if p == res.New || len(s.db.CoresetsOf(p)) == 0 {
+				continue
+			}
+			for _, rel := range coOccurring(s.db, p) {
+				if rel == res.New {
+					continue
+				}
+				if g := evalGain(s.db, s.opts, p, rel); g > 0 {
+					s.cands.Set(p, rel, g)
+					s.rd.add(p, rel)
+				} else {
+					s.cands.Remove(p, rel)
+					s.rd.removePair(p, rel)
+				}
+			}
+		}
+		s.merges++
+		out := StepResult{
+			Merges:  s.merges,
+			Gain:    res.Gain,
+			TotalDL: s.db.TotalDL(),
+		}
+		out.NewLeafset = append(out.NewLeafset, s.db.Leafsets().Values(res.New)...)
+		return out, true
+	}
+}
+
+// StepResult describes one applied merge.
+type StepResult struct {
+	Merges     int            // merges applied so far
+	Gain       float64        // DL reduction of this merge
+	TotalDL    float64        // DL after the merge
+	NewLeafset []graph.AttrID // content of the merged leafset
+}
+
+// Done reports whether the search is exhausted.
+func (s *Stepper) Done() bool { return s.doneC }
+
+// TotalDL returns the current description length.
+func (s *Stepper) TotalDL() float64 { return s.db.TotalDL() }
+
+// BaselineDL returns the pre-merge description length.
+func (s *Stepper) BaselineDL() float64 { return s.db.BaselineDL() }
+
+// Snapshot extracts the current model (valid after any number of steps).
+func (s *Stepper) Snapshot() *Model {
+	m := extractModel(s.db, s.vocab)
+	m.BaselineDL = s.db.BaselineDL()
+	m.FinalDL = s.db.TotalDL()
+	m.Iterations = s.merges
+	return m
+}

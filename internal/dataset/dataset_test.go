@@ -1,0 +1,234 @@
+package dataset
+
+import (
+	"testing"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+)
+
+func TestDBLPShape(t *testing.T) {
+	g := DBLP(1)
+	st := g.ComputeStats()
+	if st.Vertices != 2723 {
+		t.Errorf("Vertices = %d, want 2723", st.Vertices)
+	}
+	// Edge count is stochastic; Table II reports 3,464 — accept a band.
+	if st.Edges < 2700 || st.Edges > 4800 {
+		t.Errorf("Edges = %d, outside DBLP-like band", st.Edges)
+	}
+	if st.AttrValues < 100 || st.AttrValues > 140 {
+		t.Errorf("AttrValues = %d, want ≈127", st.AttrValues)
+	}
+	if !st.IsConnected {
+		t.Error("DBLP graph should be connected")
+	}
+}
+
+func TestDBLPTrendShape(t *testing.T) {
+	g := DBLPTrend(1)
+	st := g.ComputeStats()
+	if st.Vertices != 2723 {
+		t.Errorf("Vertices = %d, want 2723", st.Vertices)
+	}
+	// Trend alphabet: up to 8 areas × 12 venues × 3 trends = 288; Table II
+	// reports 271 (not all combinations occur).
+	if st.AttrValues < 200 || st.AttrValues > 288 {
+		t.Errorf("AttrValues = %d, want ≈271", st.AttrValues)
+	}
+	if st.AttrValues <= DBLP(1).ComputeStats().AttrValues {
+		t.Error("trend alphabet should exceed the plain venue alphabet")
+	}
+}
+
+func TestUSFlightShape(t *testing.T) {
+	g := USFlight(1)
+	st := g.ComputeStats()
+	if st.Vertices != 280 {
+		t.Errorf("Vertices = %d, want 280", st.Vertices)
+	}
+	if st.Edges < 3000 || st.Edges > 4600 {
+		t.Errorf("Edges = %d, want ≈4030", st.Edges)
+	}
+	if st.AttrValues < 55 || st.AttrValues > 85 {
+		t.Errorf("AttrValues = %d, want ≈70", st.AttrValues)
+	}
+	if !st.IsConnected {
+		t.Error("USFlight graph should be connected")
+	}
+}
+
+func TestPokecShape(t *testing.T) {
+	cfg := PokecConfig{Nodes: 3000, Seed: 2, Genres: 914}
+	g := Pokec(cfg)
+	st := g.ComputeStats()
+	if st.Vertices != 3000 {
+		t.Errorf("Vertices = %d", st.Vertices)
+	}
+	if !st.IsConnected {
+		t.Error("Pokec graph should be connected")
+	}
+	if st.AvgDegree < 2 {
+		t.Errorf("AvgDegree = %v, too sparse for a social network", st.AvgDegree)
+	}
+}
+
+func TestPokecDefaultsApplied(t *testing.T) {
+	g := Pokec(PokecConfig{Seed: 3})
+	if g.NumVertices() != DefaultPokec().Nodes {
+		t.Fatalf("zero config should use defaults, got %d nodes", g.NumVertices())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := DBLP(5), DBLP(5)
+	sa, sb := a.ComputeStats(), b.ComputeStats()
+	if sa != sb {
+		t.Fatalf("same seed, different stats: %+v vs %+v", sa, sb)
+	}
+	c := DBLP(6)
+	if sc := c.ComputeStats(); sc.Edges == sa.Edges && sc.Occurrences == sa.Occurrences {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestUSFlightPlantsHubSpokeCorrelation(t *testing.T) {
+	g := USFlight(3)
+	// Count core NbDepart- vertices whose neighbours include NbDepart+ and
+	// DelayArriv-: the §VI-B(2) pattern should be frequent.
+	down, _ := g.Vocab().Lookup("NbDepart-")
+	up, _ := g.Vocab().Lookup("NbDepart+")
+	lessDelay, _ := g.Vocab().Lookup("DelayArriv-")
+	matches := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if !g.HasAttr(graph.VertexID(v), down) {
+			continue
+		}
+		hasUp, hasLess := false, false
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if g.HasAttr(u, up) {
+				hasUp = true
+			}
+			if g.HasAttr(u, lessDelay) {
+				hasLess = true
+			}
+		}
+		if hasUp && hasLess {
+			matches++
+		}
+	}
+	if matches < 10 {
+		t.Fatalf("planted flight correlation too weak: %d matching cores", matches)
+	}
+}
+
+func TestPlantedRecovery(t *testing.T) {
+	cfg := DefaultPlanted()
+	g, truth := Planted(cfg)
+	if !g.Connected() {
+		t.Fatal("planted graph should be connected")
+	}
+	m := cspm.Mine(g)
+	// Every planted (core, full leafset) a-star must be mined with a code
+	// length ranking it ahead of noise-only patterns.
+	vocab := g.Vocab()
+	found := make(map[string]bool)
+	var worstPlanted float64
+	for _, p := range m.Patterns {
+		key := p.Format(vocab)
+		found[key] = true
+		_ = key
+	}
+	for _, tp := range truth {
+		want := cspm.AStar{}
+		_ = want
+		core := make([]graph.AttrID, len(tp.Core))
+		for i, n := range tp.Core {
+			id, ok := vocab.Lookup(n)
+			if !ok {
+				t.Fatalf("core value %s missing from vocab", n)
+			}
+			core[i] = id
+		}
+		leaf := make([]graph.AttrID, len(tp.Leaf))
+		for i, n := range tp.Leaf {
+			id, ok := vocab.Lookup(n)
+			if !ok {
+				t.Fatalf("leaf value %s missing from vocab", n)
+			}
+			leaf[i] = id
+		}
+		s := cspm.AStar{CoreValues: core, LeafValues: leaf}
+		if !found[s.Format(vocab)] {
+			t.Errorf("planted pattern %s not recovered", s.Format(vocab))
+			continue
+		}
+		for _, p := range m.Patterns {
+			if p.Format(vocab) == s.Format(vocab) && p.CodeLen > worstPlanted {
+				worstPlanted = p.CodeLen
+			}
+		}
+	}
+	if t.Failed() {
+		return
+	}
+	// Ranking check: every planted pattern must be coded shorter than every
+	// pattern that involves a noise value (shorter code = higher rank).
+	bestNoise := 0.0
+	haveNoise := false
+	isNoise := func(ids []graph.AttrID) bool {
+		for _, id := range ids {
+			if len(vocab.Name(id)) >= 5 && vocab.Name(id)[:5] == "noise" {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range m.Patterns {
+		if isNoise(p.CoreValues) || isNoise(p.LeafValues) {
+			if !haveNoise || p.CodeLen < bestNoise {
+				bestNoise, haveNoise = p.CodeLen, true
+			}
+		}
+	}
+	if haveNoise && worstPlanted >= bestNoise {
+		t.Errorf("a planted pattern (len %.3f) ranks below a noise pattern (len %.3f)",
+			worstPlanted, bestNoise)
+	}
+}
+
+func TestCitationShapes(t *testing.T) {
+	for _, cfg := range []CitationConfig{Cora(1), Citeseer(1), DBLPCitation(1)} {
+		g, class := Citation(cfg)
+		if g.NumVertices() != cfg.Nodes {
+			t.Errorf("%s: nodes = %d, want %d", cfg.Name, g.NumVertices(), cfg.Nodes)
+		}
+		if len(class) != cfg.Nodes {
+			t.Errorf("%s: class labels missing", cfg.Name)
+		}
+		if !g.Connected() {
+			t.Errorf("%s: graph should be connected", cfg.Name)
+		}
+		if g.NumAttrValues() > cfg.Attrs {
+			t.Errorf("%s: alphabet %d exceeds config %d", cfg.Name, g.NumAttrValues(), cfg.Attrs)
+		}
+	}
+}
+
+func TestCitationHomophily(t *testing.T) {
+	g, class := Citation(Cora(2))
+	same, total := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < u {
+				total++
+				if class[v] == class[u] {
+					same++
+				}
+			}
+		}
+	}
+	if frac := float64(same) / float64(total); frac < 0.5 {
+		t.Fatalf("homophily fraction %.2f too low", frac)
+	}
+}

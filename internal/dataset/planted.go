@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cspm/internal/graph"
+)
+
+// TruePattern is a planted a-star ground truth: vertices carrying all of
+// Core were wired to neighbours that jointly carry Leaf.
+type TruePattern struct {
+	Core []string
+	Leaf []string
+}
+
+// PlantedConfig controls the recovery benchmark generator.
+type PlantedConfig struct {
+	Seed        int64
+	Patterns    int     // number of planted a-stars
+	Occurrences int     // star occurrences per pattern
+	LeafSize    int     // leaf values per pattern
+	NoiseNodes  int     // extra vertices with random attributes
+	NoiseAttrs  int     // size of the noise alphabet
+	NoiseProb   float64 // probability of a noise attribute on pattern vertices
+}
+
+// DefaultPlanted returns a configuration that yields an unambiguous
+// recovery signal while still containing distractors.
+func DefaultPlanted() PlantedConfig {
+	return PlantedConfig{
+		Seed: 7, Patterns: 6, Occurrences: 40, LeafSize: 3,
+		NoiseNodes: 300, NoiseAttrs: 30, NoiseProb: 0.15,
+	}
+}
+
+// Planted generates a graph with cfg.Patterns planted a-stars plus noise and
+// returns the ground truth. Each occurrence of pattern i is a fresh star:
+// one core vertex carrying core_i, with LeafSize leaves each carrying one of
+// the pattern's leaf values (so the a-star, not the exact extended star, is
+// the repeated unit).
+func Planted(cfg PlantedConfig) (*graph.Graph, []TruePattern) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	truth := make([]TruePattern, cfg.Patterns)
+	for i := range truth {
+		leaf := make([]string, cfg.LeafSize)
+		for j := range leaf {
+			leaf[j] = fmt.Sprintf("leaf_%d_%d", i, j)
+		}
+		truth[i] = TruePattern{Core: []string{fmt.Sprintf("core_%d", i)}, Leaf: leaf}
+	}
+	starVerts := cfg.Patterns * cfg.Occurrences * (1 + cfg.LeafSize)
+	total := starVerts + cfg.NoiseNodes
+	b := graph.NewBuilder(total)
+	noise := make([]string, cfg.NoiseAttrs)
+	for i := range noise {
+		noise[i] = fmt.Sprintf("noise_%d", i)
+	}
+	next := 0
+	alloc := func() graph.VertexID { v := graph.VertexID(next); next++; return v }
+	// prev is the last leaf allocated; occurrences chain leaf-to-leaf so the
+	// graph stays connected without giving core vertices extra neighbours
+	// (which would contaminate the planted leafsets).
+	var prev graph.VertexID
+	havePrev := false
+	for _, tp := range truth {
+		for o := 0; o < cfg.Occurrences; o++ {
+			core := alloc()
+			_ = b.AddAttr(core, tp.Core[0])
+			if rng.Float64() < cfg.NoiseProb {
+				_ = b.AddAttr(core, noise[rng.Intn(len(noise))])
+			}
+			for _, lv := range tp.Leaf {
+				leaf := alloc()
+				_ = b.AddAttr(leaf, lv)
+				if rng.Float64() < cfg.NoiseProb {
+					_ = b.AddAttr(leaf, noise[rng.Intn(len(noise))])
+				}
+				_ = b.AddEdge(core, leaf)
+				if havePrev {
+					_ = b.AddEdge(leaf, prev)
+					havePrev = false
+				}
+				prev = leaf
+			}
+			havePrev = true
+		}
+	}
+	for n := 0; n < cfg.NoiseNodes; n++ {
+		v := alloc()
+		_ = b.AddAttr(v, noise[rng.Intn(len(noise))])
+		if rng.Float64() < 0.5 {
+			_ = b.AddAttr(v, noise[rng.Intn(len(noise))])
+		}
+		_ = b.AddEdge(v, graph.VertexID(rng.Intn(int(v))))
+	}
+	return b.Build(), truth
+}
+
+// CitationConfig shapes the citation networks used for the node-attribute
+// completion experiments (Table IV): Cora, Citeseer and DBLP-citation.
+type CitationConfig struct {
+	Name         string
+	Nodes        int
+	Classes      int
+	Attrs        int // attribute alphabet (bag-of-words terms / venues)
+	AttrsPerNode int // average values per node
+	Homophily    float64
+	Seed         int64
+}
+
+// Cora mirrors the shape of the Cora citation network (2,708 nodes, 7
+// classes) at a reduced attribute alphabet for tractable dense models.
+func Cora(seed int64) CitationConfig {
+	return CitationConfig{Name: "Cora", Nodes: 2708, Classes: 7, Attrs: 300, AttrsPerNode: 12, Homophily: 0.85, Seed: seed}
+}
+
+// Citeseer mirrors Citeseer (3,327 nodes, 6 classes).
+func Citeseer(seed int64) CitationConfig {
+	return CitationConfig{Name: "Citeseer", Nodes: 3327, Classes: 6, Attrs: 360, AttrsPerNode: 10, Homophily: 0.8, Seed: seed}
+}
+
+// DBLPCitation mirrors the DBLP completion dataset: few attribute values per
+// node (venues), hence the paper evaluates it at smaller K.
+func DBLPCitation(seed int64) CitationConfig {
+	return CitationConfig{Name: "DBLP", Nodes: 2723, Classes: 8, Attrs: 128, AttrsPerNode: 4, Homophily: 0.85, Seed: seed}
+}
+
+// Citation generates a homophilous citation graph: each class owns a topic
+// distribution over the attribute alphabet; nodes draw attributes from their
+// class topics; edges prefer same-class endpoints. Returns the graph and
+// each node's class (handy for diagnostics).
+func Citation(cfg CitationConfig) (*graph.Graph, []int) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(cfg.Nodes)
+	class := make([]int, cfg.Nodes)
+	members := make([][]graph.VertexID, cfg.Classes)
+	for v := 0; v < cfg.Nodes; v++ {
+		c := rng.Intn(cfg.Classes)
+		class[v] = c
+		members[c] = append(members[c], graph.VertexID(v))
+	}
+	// Topic model: each class concentrates on a slice of the alphabet with
+	// some global overlap.
+	names := make([]string, cfg.Attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%04d", i)
+	}
+	slice := cfg.Attrs / cfg.Classes
+	for v := 0; v < cfg.Nodes; v++ {
+		c := class[v]
+		lo := c * slice
+		k := 1 + rng.Intn(2*cfg.AttrsPerNode-1)
+		for j := 0; j < k; j++ {
+			if rng.Float64() < 0.8 {
+				_ = b.AddAttr(graph.VertexID(v), names[lo+rng.Intn(slice)])
+			} else {
+				_ = b.AddAttr(graph.VertexID(v), names[rng.Intn(cfg.Attrs)])
+			}
+		}
+	}
+	// Spanning structure then homophilous extra edges (≈2 per node).
+	for v := 1; v < cfg.Nodes; v++ {
+		_ = b.AddEdge(graph.VertexID(v), graph.VertexID(rng.Intn(v)))
+	}
+	for e := 0; e < 2*cfg.Nodes; e++ {
+		u := graph.VertexID(rng.Intn(cfg.Nodes))
+		var v graph.VertexID
+		if rng.Float64() < cfg.Homophily {
+			peers := members[class[u]]
+			v = peers[rng.Intn(len(peers))]
+		} else {
+			v = graph.VertexID(rng.Intn(cfg.Nodes))
+		}
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build(), class
+}

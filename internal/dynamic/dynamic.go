@@ -1,0 +1,196 @@
+// Package dynamic extends CSPM to dynamic attributed graphs — the paper's
+// future-work item (2). A dynamic attributed graph is a sequence of
+// snapshots over a fixed vertex set whose attributes (and optionally edges)
+// change over time. The package encodes the sequence as a static "temporal
+// product" graph — one vertex per (vertex, time) slice, intra-snapshot
+// edges, plus temporal edges linking consecutive slices of the same vertex —
+// so the standard miner discovers temporal a-stars: correlations between a
+// vertex's values at time t and its neighbourhood's values at t and t+1.
+// The telecom alarm study (§VI-D) is exactly this construction with
+// windows as time steps.
+package dynamic
+
+import (
+	"fmt"
+
+	"cspm/internal/graph"
+)
+
+// Snapshot is one time step: per-vertex attribute values, plus the edges
+// active at that step.
+type Snapshot struct {
+	Attrs map[graph.VertexID][]string
+	Edges [][2]graph.VertexID
+}
+
+// Graph is a dynamic attributed graph over vertices 0..N-1.
+type Graph struct {
+	NumVertices int
+	Snapshots   []Snapshot
+}
+
+// Validate checks vertex ranges across all snapshots.
+func (d *Graph) Validate() error {
+	if d.NumVertices <= 0 {
+		return fmt.Errorf("dynamic: NumVertices must be positive, got %d", d.NumVertices)
+	}
+	for t, s := range d.Snapshots {
+		for v := range s.Attrs {
+			if int(v) >= d.NumVertices {
+				return fmt.Errorf("dynamic: snapshot %d: vertex %d out of range", t, v)
+			}
+		}
+		for _, e := range s.Edges {
+			if int(e[0]) >= d.NumVertices || int(e[1]) >= d.NumVertices {
+				return fmt.Errorf("dynamic: snapshot %d: edge %v out of range", t, e)
+			}
+			if e[0] == e[1] {
+				return fmt.Errorf("dynamic: snapshot %d: self-loop on %d", t, e[0])
+			}
+		}
+	}
+	return nil
+}
+
+// FlattenOptions controls the product-graph encoding.
+type FlattenOptions struct {
+	// TemporalEdges links (v, t) to (v, t+1), letting a-stars span
+	// consecutive steps (cause-precedes-effect patterns). Default true via
+	// DefaultFlatten.
+	TemporalEdges bool
+	// DropEmptySlices omits (vertex, time) slices with no attributes, which
+	// keeps alarm-style sparse activity graphs small. Slices referenced by
+	// an active edge are kept regardless, so topology is preserved.
+	DropEmptySlices bool
+}
+
+// DefaultFlatten is the recommended encoding.
+func DefaultFlatten() FlattenOptions {
+	return FlattenOptions{TemporalEdges: true, DropEmptySlices: true}
+}
+
+// Flatten encodes the dynamic graph as a static attributed graph plus the
+// mapping from product vertices back to (vertex, time) slices.
+func Flatten(d *Graph, opts FlattenOptions) (*graph.Graph, []SliceID, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	type key struct {
+		v graph.VertexID
+		t int
+	}
+	index := make(map[key]graph.VertexID)
+	var slices []SliceID
+	alloc := func(k key) graph.VertexID {
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := graph.VertexID(len(slices))
+		index[k] = id
+		slices = append(slices, SliceID{Vertex: k.v, Time: k.t})
+		return id
+	}
+	// First pass: decide which slices exist.
+	for t, s := range d.Snapshots {
+		for v, vals := range s.Attrs {
+			if len(vals) > 0 || !opts.DropEmptySlices {
+				alloc(key{v, t})
+			}
+		}
+		if !opts.DropEmptySlices {
+			for v := 0; v < d.NumVertices; v++ {
+				alloc(key{graph.VertexID(v), t})
+			}
+		}
+		for _, e := range s.Edges {
+			alloc(key{e[0], t})
+			alloc(key{e[1], t})
+		}
+	}
+	b := graph.NewBuilder(len(slices))
+	for t, s := range d.Snapshots {
+		for v, vals := range s.Attrs {
+			id, ok := index[key{v, t}]
+			if !ok {
+				continue
+			}
+			for _, val := range vals {
+				if err := b.AddAttr(id, val); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for _, e := range s.Edges {
+			if err := b.AddEdge(index[key{e[0], t}], index[key{e[1], t}]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if opts.TemporalEdges {
+		for t := range d.Snapshots {
+			if t == 0 {
+				continue
+			}
+			for v := 0; v < d.NumVertices; v++ {
+				prev, okPrev := index[key{graph.VertexID(v), t - 1}]
+				cur, okCur := index[key{graph.VertexID(v), t}]
+				if okPrev && okCur {
+					if err := b.AddEdge(prev, cur); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), slices, nil
+}
+
+// SliceID maps a product vertex back to its (vertex, time) origin.
+type SliceID struct {
+	Vertex graph.VertexID
+	Time   int
+}
+
+// FromEventStream builds a dynamic graph from timestamped attribute events
+// over a static topology — the alarm-log shape. Events at time ts land in
+// snapshot ts/windowSize; the topology repeats in every snapshot.
+func FromEventStream(numVertices int, topology [][2]graph.VertexID, events []Event, windowSize int64) (*Graph, error) {
+	if windowSize <= 0 {
+		return nil, fmt.Errorf("dynamic: windowSize must be positive, got %d", windowSize)
+	}
+	maxWin := 0
+	for _, e := range events {
+		if e.Time < 0 {
+			return nil, fmt.Errorf("dynamic: negative event time %d", e.Time)
+		}
+		if w := int(e.Time / windowSize); w > maxWin {
+			maxWin = w
+		}
+	}
+	d := &Graph{NumVertices: numVertices, Snapshots: make([]Snapshot, maxWin+1)}
+	for t := range d.Snapshots {
+		d.Snapshots[t] = Snapshot{Attrs: make(map[graph.VertexID][]string), Edges: topology}
+	}
+	for _, e := range events {
+		w := int(e.Time / windowSize)
+		s := d.Snapshots[w]
+		s.Attrs[e.Vertex] = appendUnique(s.Attrs[e.Vertex], e.Value)
+	}
+	return d, d.Validate()
+}
+
+// Event is one timestamped attribute observation.
+type Event struct {
+	Vertex graph.VertexID
+	Value  string
+	Time   int64
+}
+
+func appendUnique(vals []string, v string) []string {
+	for _, x := range vals {
+		if x == v {
+			return vals
+		}
+	}
+	return append(vals, v)
+}

@@ -1,0 +1,185 @@
+package dynamic
+
+import (
+	"testing"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+)
+
+func twoStep() *Graph {
+	// Three vertices in a path; "hot" on v0 at t0 is followed by "warm" on
+	// its neighbour v1 at t1 in both transitions.
+	return &Graph{
+		NumVertices: 3,
+		Snapshots: []Snapshot{
+			{
+				Attrs: map[graph.VertexID][]string{0: {"hot"}, 2: {"idle"}},
+				Edges: [][2]graph.VertexID{{0, 1}, {1, 2}},
+			},
+			{
+				Attrs: map[graph.VertexID][]string{0: {"hot"}, 1: {"warm"}},
+				Edges: [][2]graph.VertexID{{0, 1}, {1, 2}},
+			},
+			{
+				Attrs: map[graph.VertexID][]string{1: {"warm"}, 2: {"idle"}},
+				Edges: [][2]graph.VertexID{{0, 1}, {1, 2}},
+			},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoStep().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Graph{NumVertices: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	oob := &Graph{NumVertices: 1, Snapshots: []Snapshot{{Attrs: map[graph.VertexID][]string{5: {"x"}}}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	loop := &Graph{NumVertices: 2, Snapshots: []Snapshot{{Edges: [][2]graph.VertexID{{1, 1}}}}}
+	if err := loop.Validate(); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestFlattenShape(t *testing.T) {
+	d := twoStep()
+	g, slices, err := Flatten(d, DefaultFlatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != len(slices) {
+		t.Fatalf("vertices %d != slices %d", g.NumVertices(), len(slices))
+	}
+	// DropEmptySlices keeps edge-referenced slices: v1 at t0 has no attrs
+	// but carries edges — it must exist.
+	found := false
+	for _, s := range slices {
+		if s.Vertex == 1 && s.Time == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("edge-referenced empty slice dropped")
+	}
+}
+
+func TestFlattenTemporalEdges(t *testing.T) {
+	d := twoStep()
+	g, slices, err := Flatten(d, FlattenOptions{TemporalEdges: true, DropEmptySlices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(v graph.VertexID, time int) graph.VertexID {
+		for i, s := range slices {
+			if s.Vertex == v && s.Time == time {
+				return graph.VertexID(i)
+			}
+		}
+		t.Fatalf("slice (%d,%d) missing", v, time)
+		return 0
+	}
+	if !g.HasEdge(at(0, 0), at(0, 1)) {
+		t.Error("temporal edge (v0,t0)-(v0,t1) missing")
+	}
+	g2, _, err := Flatten(d, FlattenOptions{TemporalEdges: false, DropEmptySlices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() >= g.NumEdges() {
+		t.Error("disabling temporal edges should reduce the edge count")
+	}
+}
+
+func TestFlattenKeepAllSlices(t *testing.T) {
+	d := twoStep()
+	g, slices, err := Flatten(d, FlattenOptions{TemporalEdges: true, DropEmptySlices: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 9 || g.NumVertices() != 9 {
+		t.Fatalf("expected 3 vertices × 3 snapshots = 9 slices, got %d", len(slices))
+	}
+}
+
+// TestMineTemporalPattern checks the end-to-end claim: mining the flattened
+// product graph surfaces the planted temporal correlation hot→warm.
+func TestMineTemporalPattern(t *testing.T) {
+	// Repeat the hot→warm propagation many times for a strong signal.
+	d := &Graph{NumVertices: 40}
+	topo := make([][2]graph.VertexID, 0, 39)
+	for v := graph.VertexID(1); v < 40; v++ {
+		topo = append(topo, [2]graph.VertexID{v - 1, v})
+	}
+	for step := 0; step < 12; step++ {
+		s := Snapshot{Attrs: make(map[graph.VertexID][]string), Edges: topo}
+		for v := graph.VertexID(0); v < 40; v += 4 {
+			if (step+int(v))%2 == 0 {
+				s.Attrs[v] = []string{"hot"}
+				if v+1 < 40 {
+					s.Attrs[v+1] = []string{"warm"}
+				}
+			}
+		}
+		d.Snapshots = append(d.Snapshots, s)
+	}
+	g, _, err := Flatten(d, DefaultFlatten())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cspm.Mine(g)
+	hot, ok := g.Vocab().Lookup("hot")
+	if !ok {
+		t.Fatal("hot missing from vocab")
+	}
+	warm, _ := g.Vocab().Lookup("warm")
+	found := false
+	for _, p := range m.Patterns {
+		if len(p.CoreValues) == 1 && p.CoreValues[0] == hot {
+			for _, lv := range p.LeafValues {
+				if lv == warm {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("temporal pattern ({hot},{...warm...}) not mined")
+	}
+}
+
+func TestFromEventStream(t *testing.T) {
+	topo := [][2]graph.VertexID{{0, 1}}
+	events := []Event{
+		{Vertex: 0, Value: "a", Time: 5},
+		{Vertex: 0, Value: "a", Time: 7}, // duplicate in same window
+		{Vertex: 1, Value: "b", Time: 65},
+	}
+	d, err := FromEventStream(2, topo, events, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Snapshots) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(d.Snapshots))
+	}
+	if got := d.Snapshots[0].Attrs[0]; len(got) != 1 || got[0] != "a" {
+		t.Fatalf("window 0 attrs = %v", got)
+	}
+	if got := d.Snapshots[1].Attrs[1]; len(got) != 1 || got[0] != "b" {
+		t.Fatalf("window 1 attrs = %v", got)
+	}
+}
+
+func TestFromEventStreamValidation(t *testing.T) {
+	if _, err := FromEventStream(2, nil, nil, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := FromEventStream(2, nil, []Event{{Time: -1}}, 60); err == nil {
+		t.Error("negative time accepted")
+	}
+}

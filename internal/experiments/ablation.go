@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cspm/internal/cspm"
+	"cspm/internal/dataset"
+	"cspm/internal/graph"
+)
+
+// AblationArm summarises one configuration of the model-cost ablation
+// (DESIGN.md experiment A1) on the planted-pattern recovery task.
+type AblationArm struct {
+	Name        string
+	Iterations  int
+	Patterns    int
+	FinalDL     float64
+	Recovered   int // planted patterns mined exactly
+	TopPolluted int // noise-bearing patterns ranked above the worst planted one
+}
+
+// AblationModelCost mines the planted-pattern graph with and without the
+// L(M) term in the merge gain, measuring recovery quality. The model cost
+// is this implementation's reconstruction of the paper's "cost increase of
+// the new pattern's leafset" (§IV-E); the ablation quantifies what it buys.
+func AblationModelCost(seed int64) []AblationArm {
+	cfg := dataset.DefaultPlanted()
+	cfg.Seed = seed
+	arms := []struct {
+		name    string
+		disable bool
+	}{
+		{"with-model-cost", false},
+		{"data-gain-only", true},
+	}
+	var out []AblationArm
+	for _, a := range arms {
+		g, truth := dataset.Planted(cfg)
+		m := cspm.MineWithOptions(g, cspm.Options{CollectStats: true, DisableModelCost: a.disable})
+		arm := AblationArm{
+			Name:       a.name,
+			Iterations: m.Iterations,
+			Patterns:   len(m.Patterns),
+			FinalDL:    m.FinalDL,
+		}
+		vocab := g.Vocab()
+		worstPlanted := 0.0
+		for _, tp := range truth {
+			if codeLen, ok := findPattern(m, vocab, tp); ok {
+				arm.Recovered++
+				if codeLen > worstPlanted {
+					worstPlanted = codeLen
+				}
+			}
+		}
+		for _, p := range m.Patterns {
+			if p.CodeLen >= worstPlanted {
+				break
+			}
+			if hasNoise(vocab, p.CoreValues) || hasNoise(vocab, p.LeafValues) {
+				arm.TopPolluted++
+			}
+		}
+		out = append(out, arm)
+	}
+	return out
+}
+
+func findPattern(m *cspm.Model, vocab *graph.Vocab, tp dataset.TruePattern) (float64, bool) {
+	want := patternKey(tp.Core, tp.Leaf)
+	for _, p := range m.Patterns {
+		core := make([]string, len(p.CoreValues))
+		for i, a := range p.CoreValues {
+			core[i] = vocab.Name(a)
+		}
+		leaf := make([]string, len(p.LeafValues))
+		for i, a := range p.LeafValues {
+			leaf[i] = vocab.Name(a)
+		}
+		if patternKey(core, leaf) == want {
+			return p.CodeLen, true
+		}
+	}
+	return 0, false
+}
+
+func patternKey(core, leaf []string) string {
+	c := append([]string(nil), core...)
+	l := append([]string(nil), leaf...)
+	sort.Strings(c)
+	sort.Strings(l)
+	return strings.Join(c, ",") + "|" + strings.Join(l, ",")
+}
+
+func hasNoise(vocab *graph.Vocab, ids []graph.AttrID) bool {
+	for _, id := range ids {
+		if strings.HasPrefix(vocab.Name(id), "noise") {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintAblation renders the ablation arms.
+func PrintAblation(w io.Writer, arms []AblationArm) {
+	fmt.Fprintf(w, "%-18s %10s %9s %12s %10s %12s\n",
+		"Config", "iters", "patterns", "finalDL", "recovered", "topPolluted")
+	for _, a := range arms {
+		fmt.Fprintf(w, "%-18s %10d %9d %12.1f %10d %12d\n",
+			a.Name, a.Iterations, a.Patterns, a.FinalDL, a.Recovered, a.TopPolluted)
+	}
+}

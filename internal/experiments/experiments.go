@@ -1,0 +1,263 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI) on the synthetic dataset substitutes: Table II (dataset
+// statistics), Table III (runtime comparison), Fig. 5 (gain-update ratio),
+// Fig. 6 (example patterns), Table IV (node attribute completion) and
+// Fig. 8 (alarm-rule coverage). Each experiment returns a structured result
+// and can render itself as the text rows the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cspm/internal/cspm"
+	"cspm/internal/dataset"
+	"cspm/internal/graph"
+	"cspm/internal/slim"
+)
+
+// Scale selects dataset sizes: Small keeps every experiment in CI seconds,
+// Full approaches the paper's scale where laptop-feasible.
+type Scale int
+
+const (
+	// Small is the test/CI scale.
+	Small Scale = iota
+	// Full is the benchmark scale.
+	Full
+)
+
+// Dataset names used across experiments.
+const (
+	DBLPName      = "DBLP"
+	DBLPTrendName = "DBLP-Trend"
+	USFlightName  = "USFlight"
+	PokecName     = "Pokec"
+)
+
+// BenchmarkGraphs instantiates the four Table II datasets at the given
+// scale. Pokec is the only one that scales (the others have fixed paper
+// sizes that are already laptop-friendly).
+func BenchmarkGraphs(scale Scale, seed int64) map[string]*graph.Graph {
+	pokec := dataset.PokecConfig{Nodes: 4000, Seed: seed, Genres: 914}
+	if scale == Full {
+		pokec.Nodes = 60000
+	}
+	return map[string]*graph.Graph{
+		DBLPName:      dataset.DBLP(seed),
+		DBLPTrendName: dataset.DBLPTrend(seed),
+		USFlightName:  dataset.USFlight(seed),
+		PokecName:     dataset.Pokec(pokec),
+	}
+}
+
+// DatasetOrder is the presentation order used by all tables.
+var DatasetOrder = []string{DBLPName, DBLPTrendName, USFlightName, PokecName}
+
+// MiniGraph is a small attributed graph (a scaled-down Pokec) used by the
+// Basic-vs-Partial ratio benchmarks, where a full CSPM-Basic run on the
+// Table II datasets would take minutes per iteration.
+func MiniGraph(seed int64) *graph.Graph {
+	return dataset.Pokec(dataset.PokecConfig{Nodes: 600, Seed: seed, Genres: 120})
+}
+
+// Table2Row is one dataset-statistics row (paper Table II).
+type Table2Row struct {
+	Name     string
+	Nodes    int
+	Edges    int
+	Coresets int // |S_c^M|: attribute values usable as coresets
+}
+
+// Table2 computes the dataset statistics.
+func Table2(scale Scale, seed int64) []Table2Row {
+	graphs := BenchmarkGraphs(scale, seed)
+	rows := make([]Table2Row, 0, len(DatasetOrder))
+	for _, name := range DatasetOrder {
+		g := graphs[name]
+		st := g.ComputeStats()
+		rows = append(rows, Table2Row{
+			Name:     name,
+			Nodes:    st.Vertices,
+			Edges:    st.Edges,
+			Coresets: st.UsedCoresets,
+		})
+	}
+	return rows
+}
+
+// PrintTable2 renders the rows like the paper's Table II.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-12s %10s %12s %8s\n", "Dataset", "#Nodes", "#Edges", "|Sc|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10d %12d %8d\n", r.Name, r.Nodes, r.Edges, r.Coresets)
+	}
+}
+
+// Table3Row is one runtime-comparison row (paper Table III).
+type Table3Row struct {
+	Name        string
+	SLIM        time.Duration
+	CSPMBasic   time.Duration
+	BasicRan    bool // Basic is skipped on datasets above the cap (paper: "-" for Pokec)
+	CSPMPartial time.Duration
+	PartialDL   float64
+	BaselineDL  float64
+}
+
+// Table3Options bounds the runtime experiment.
+type Table3Options struct {
+	Scale Scale
+	Seed  int64
+	// SkipBasicOverNodes mirrors the paper's "CSPM-Basic did not terminate
+	// on Pokec within 48h": Basic is skipped on graphs above this size.
+	// Defaults: 300 at Small scale (Basic costs minutes already on the
+	// 280-airport USFlight), 5000 at Full (paper Table III runs Basic on
+	// everything but Pokec).
+	SkipBasicOverNodes int
+}
+
+// Table3 measures SLIM, CSPM-Basic and CSPM-Partial wall times per dataset.
+func Table3(opts Table3Options) []Table3Row {
+	if opts.SkipBasicOverNodes == 0 {
+		if opts.Scale == Full {
+			opts.SkipBasicOverNodes = 5000
+		} else {
+			opts.SkipBasicOverNodes = 300
+		}
+	}
+	graphs := BenchmarkGraphs(opts.Scale, opts.Seed)
+	rows := make([]Table3Row, 0, len(DatasetOrder))
+	for _, name := range DatasetOrder {
+		g := graphs[name]
+		row := Table3Row{Name: name}
+
+		start := time.Now()
+		slim.MineGraph(g, slim.Options{})
+		row.SLIM = time.Since(start)
+
+		if g.NumVertices() <= opts.SkipBasicOverNodes {
+			start = time.Now()
+			cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic})
+			row.CSPMBasic = time.Since(start)
+			row.BasicRan = true
+		}
+
+		start = time.Now()
+		m := cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Partial, CollectStats: true})
+		row.CSPMPartial = time.Since(start)
+		row.PartialDL = m.FinalDL
+		row.BaselineDL = m.BaselineDL
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintTable3 renders the runtime comparison.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "%-12s %14s %14s %14s\n", "Dataset", "SLIM", "CSPM-Basic", "CSPM-Partial")
+	for _, r := range rows {
+		basic := "-"
+		if r.BasicRan {
+			basic = r.CSPMBasic.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%-12s %14s %14s %14s\n", r.Name,
+			r.SLIM.Round(time.Millisecond), basic, r.CSPMPartial.Round(time.Millisecond))
+	}
+}
+
+// Fig5Series is the gain-update-ratio series of one (dataset, variant) pair.
+type Fig5Series struct {
+	Dataset string
+	Variant cspm.Variant
+	Ratios  []float64 // per iteration
+}
+
+// Fig5 runs both variants per dataset and collects the per-iteration
+// gain-update ratios. Datasets above skipBasicOverNodes only get Partial
+// (defaults mirror Table3: 300 at Small scale, 5000 at Full).
+func Fig5(scale Scale, seed int64, skipBasicOverNodes int) []Fig5Series {
+	if skipBasicOverNodes == 0 {
+		if scale == Full {
+			skipBasicOverNodes = 5000
+		} else {
+			skipBasicOverNodes = 300
+		}
+	}
+	graphs := BenchmarkGraphs(scale, seed)
+	var out []Fig5Series
+	for _, name := range DatasetOrder {
+		g := graphs[name]
+		variants := []cspm.Variant{cspm.Partial}
+		if g.NumVertices() <= skipBasicOverNodes {
+			variants = append(variants, cspm.Basic)
+		}
+		for _, v := range variants {
+			m := cspm.MineWithOptions(g, cspm.Options{Variant: v, CollectStats: true})
+			s := Fig5Series{Dataset: name, Variant: v}
+			for _, it := range m.PerIter {
+				s.Ratios = append(s.Ratios, it.UpdateRatio)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Mean returns the average update ratio of the series.
+func (s Fig5Series) Mean() float64 {
+	if len(s.Ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Ratios {
+		sum += r
+	}
+	return sum / float64(len(s.Ratios))
+}
+
+// PrintFig5 renders each series as sampled points plus its mean.
+func PrintFig5(w io.Writer, series []Fig5Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "%s / %v: iterations=%d mean-update-ratio=%.4f\n",
+			s.Dataset, s.Variant, len(s.Ratios), s.Mean())
+		step := len(s.Ratios) / 10
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(s.Ratios); i += step {
+			fmt.Fprintf(w, "  iter %4d: %.4f\n", i+1, s.Ratios[i])
+		}
+	}
+}
+
+// Fig6Patterns returns the top multi-leaf patterns per dataset, rendered
+// with attribute names (the paper's Fig. 6 / §VI-B examples).
+func Fig6Patterns(scale Scale, seed int64, topK int) map[string][]string {
+	graphs := BenchmarkGraphs(scale, seed)
+	out := make(map[string][]string)
+	for _, name := range DatasetOrder {
+		g := graphs[name]
+		m := cspm.Mine(g)
+		multi := m.MultiLeaf()
+		if topK > len(multi) {
+			topK = len(multi)
+		}
+		for _, p := range multi[:topK] {
+			out[name] = append(out[name],
+				fmt.Sprintf("%s  fL=%d fc=%d len=%.2f", p.Format(g.Vocab()), p.FL, p.FC, p.CodeLen))
+		}
+	}
+	return out
+}
+
+// PrintFig6 renders the example patterns.
+func PrintFig6(w io.Writer, patterns map[string][]string) {
+	for _, name := range DatasetOrder {
+		fmt.Fprintf(w, "%s:\n", name)
+		for _, p := range patterns[name] {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
+	}
+}

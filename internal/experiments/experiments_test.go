@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cspm/internal/cspm"
+)
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(Small, 1)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	want := map[string]int{DBLPName: 2723, DBLPTrendName: 2723, USFlightName: 280}
+	for _, r := range rows {
+		if n, ok := want[r.Name]; ok && r.Nodes != n {
+			t.Errorf("%s nodes = %d, want %d", r.Name, r.Nodes, n)
+		}
+		if r.Coresets == 0 || r.Edges == 0 {
+			t.Errorf("%s has empty stats: %+v", r.Name, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "DBLP-Trend") {
+		t.Error("render missing dataset name")
+	}
+}
+
+func TestTable3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime experiment")
+	}
+	rows := Table3(Table3Options{Scale: Small, Seed: 1, SkipBasicOverNodes: 1})
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CSPMPartial <= 0 || r.SLIM <= 0 {
+			t.Errorf("%s: missing timings %+v", r.Name, r)
+		}
+		if r.PartialDL > r.BaselineDL {
+			t.Errorf("%s: Partial expanded DL", r.Name)
+		}
+		if r.BasicRan {
+			t.Errorf("%s: Basic should be skipped under cap 1", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("skipped Basic should render as '-'")
+	}
+}
+
+func TestFig5RatiosAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mining sweep")
+	}
+	series := Fig5(Small, 1, 1)
+	if len(series) == 0 {
+		t.Fatal("no series")
+	}
+	means := make(map[string]map[cspm.Variant]float64)
+	for _, s := range series {
+		for _, r := range s.Ratios {
+			if r < 0 || r > 1+1e-9 {
+				t.Fatalf("%s/%v ratio %v outside [0,1]", s.Dataset, s.Variant, r)
+			}
+		}
+		if means[s.Dataset] == nil {
+			means[s.Dataset] = make(map[cspm.Variant]float64)
+		}
+		means[s.Dataset][s.Variant] = s.Mean()
+	}
+	// Where both variants ran, Partial must update fewer gains per
+	// iteration on average (the Fig. 5 claim).
+	for ds, m := range means {
+		basic, okB := m[cspm.Basic]
+		partial, okP := m[cspm.Partial]
+		if okB && okP && basic > 0 && partial >= basic {
+			t.Errorf("%s: Partial mean ratio %.4f >= Basic %.4f", ds, partial, basic)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, series)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFig6PatternsReadable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mining sweep")
+	}
+	pats := Fig6Patterns(Small, 1, 5)
+	if len(pats[DBLPName]) == 0 {
+		t.Fatal("no DBLP patterns")
+	}
+	// USFlight must surface the §VI-B(2) flight pattern ingredients.
+	joined := strings.Join(pats[USFlightName], "\n")
+	if !strings.Contains(joined, "NbDepart") {
+		t.Errorf("USFlight patterns lack flight trends:\n%s", joined)
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, pats)
+	if !strings.Contains(buf.String(), "Pokec") {
+		t.Error("render missing Pokec section")
+	}
+}
+
+func TestTable4FusionHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training")
+	}
+	rows := Table4(Table4Options{Scale: Small, Seed: 2, Datasets: []string{"Cora"}, Epochs: 40})
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 models", len(rows))
+	}
+	improved := 0
+	for _, r := range rows {
+		k := r.Ks[0]
+		t.Logf("%-10s recall@%d base=%.4f fused=%.4f", r.Model, k,
+			r.Base.RecallAtK[k], r.Fused.RecallAtK[k])
+		if r.Fused.RecallAtK[k] >= r.Base.RecallAtK[k]-1e-9 {
+			improved++
+		}
+	}
+	// The paper's claim: fusion improves (or at least does not degrade)
+	// every baseline. Allow one regression at toy scale.
+	if improved < len(rows)-1 {
+		t.Fatalf("fusion helped only %d/%d models", improved, len(rows))
+	}
+	var buf bytes.Buffer
+	PrintTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "Avg.improvement") {
+		t.Error("render missing improvement row")
+	}
+}
+
+func TestFig8CSPMDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alarm simulation")
+	}
+	res := Fig8(Small, 3)
+	if res.ValidRules == 0 {
+		t.Fatal("no valid rules")
+	}
+	wins := 0
+	for i := range res.Ks {
+		if res.CSPM[i] >= res.ACOR[i] {
+			wins++
+		}
+	}
+	if wins < len(res.Ks)*3/4 {
+		t.Fatalf("CSPM dominated at only %d/%d cutoffs (CSPM %v, ACOR %v)",
+			wins, len(res.Ks), res.CSPM, res.ACOR)
+	}
+	// Both curves must be monotone and reach full coverage eventually.
+	last := len(res.Ks) - 1
+	if res.CSPM[last] < 0.99 || res.ACOR[last] < 0.99 {
+		t.Fatalf("curves did not converge: CSPM %v ACOR %v", res.CSPM[last], res.ACOR[last])
+	}
+	for i := 1; i <= last; i++ {
+		if res.CSPM[i] < res.CSPM[i-1] || res.ACOR[i] < res.ACOR[i-1] {
+			t.Fatal("coverage curves must be monotone in K")
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, res)
+	if !strings.Contains(buf.String(), "topK") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationModelCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mining sweep")
+	}
+	arms := AblationModelCost(7)
+	if len(arms) != 2 {
+		t.Fatalf("%d arms", len(arms))
+	}
+	with, without := arms[0], arms[1]
+	if with.Recovered < without.Recovered {
+		t.Errorf("model cost hurt recovery: %d < %d", with.Recovered, without.Recovered)
+	}
+	// Without the MDL guard the miner merges at least as much.
+	if without.Iterations < with.Iterations {
+		t.Errorf("data-gain-only merged less: %d < %d", without.Iterations, with.Iterations)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, arms)
+	if !strings.Contains(buf.String(), "with-model-cost") {
+		t.Error("render missing arm name")
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("%d capability rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Support["CSPM"] {
+			t.Errorf("CSPM should support %q", r.Capability)
+		}
+		for _, alg := range Table1Algorithms {
+			if _, ok := r.Support[alg]; !ok {
+				t.Errorf("row %q missing column %s", r.Capability, alg)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	out := buf.String()
+	for _, alg := range Table1Algorithms {
+		if !strings.Contains(out, alg) {
+			t.Errorf("render missing %s", alg)
+		}
+	}
+}
+
+func TestMiniGraphShape(t *testing.T) {
+	g := MiniGraph(1)
+	if g.NumVertices() != 600 {
+		t.Fatalf("MiniGraph vertices = %d", g.NumVertices())
+	}
+	if !g.ComputeStats().IsConnected {
+		t.Fatal("MiniGraph should be connected")
+	}
+}

@@ -1,0 +1,149 @@
+// Package fim implements frequent-itemset mining over transaction databases
+// with the Eclat algorithm (vertical tid-list intersection). It is the
+// substrate Krimp draws its candidate sets from (paper §II and §IV-F step 1:
+// "a traditional compressing pattern mining algorithm can be applied on a
+// transaction database composed of the attribute values of vertices").
+package fim
+
+import (
+	"fmt"
+	"sort"
+
+	"cspm/internal/intset"
+)
+
+// Item is an item identifier; attribute values map 1:1 onto items.
+type Item = int32
+
+// Transaction is a sorted, duplicate-free set of items.
+type Transaction []Item
+
+// DB is a transaction database.
+type DB struct {
+	Txs      []Transaction
+	NumItems int
+}
+
+// NewDB normalises raw transactions (sorting, deduplicating) and infers the
+// item universe.
+func NewDB(raw [][]Item) *DB {
+	db := &DB{Txs: make([]Transaction, len(raw))}
+	for i, tx := range raw {
+		t := append(Transaction(nil), tx...)
+		sort.Slice(t, func(a, b int) bool { return t[a] < t[b] })
+		out := t[:0]
+		var last Item = -1
+		for _, it := range t {
+			if it != last {
+				out = append(out, it)
+				last = it
+			}
+			if int(it) >= db.NumItems {
+				db.NumItems = int(it) + 1
+			}
+		}
+		db.Txs[i] = out
+	}
+	return db
+}
+
+// ItemFreqs counts per-item supports, indexed by item.
+func (db *DB) ItemFreqs() []int {
+	freq := make([]int, db.NumItems)
+	for _, tx := range db.Txs {
+		for _, it := range tx {
+			freq[it]++
+		}
+	}
+	return freq
+}
+
+// Itemset is a mined frequent itemset with its support.
+type Itemset struct {
+	Items   []Item // sorted
+	Support int
+}
+
+// EclatOptions bounds the search.
+type EclatOptions struct {
+	MinSupport int // absolute support threshold (≥ 1)
+	MaxLen     int // maximum itemset size (0 = unbounded)
+	MaxResults int // stop after this many itemsets (0 = unbounded)
+}
+
+// Eclat mines all frequent itemsets of db (including singletons) using
+// depth-first tid-list intersection. Results are deterministic: depth-first
+// over ascending item order.
+func Eclat(db *DB, opts EclatOptions) ([]Itemset, error) {
+	if opts.MinSupport < 1 {
+		return nil, fmt.Errorf("fim: MinSupport must be >= 1, got %d", opts.MinSupport)
+	}
+	// Vertical layout.
+	tids := make([]intset.Set, db.NumItems)
+	{
+		buf := make([][]uint32, db.NumItems)
+		for t, tx := range db.Txs {
+			for _, it := range tx {
+				buf[it] = append(buf[it], uint32(t))
+			}
+		}
+		for i := range tids {
+			tids[i] = intset.FromSorted(buf[i])
+		}
+	}
+	type node struct {
+		item Item
+		tids intset.Set
+	}
+	var frontier []node
+	for i := 0; i < db.NumItems; i++ {
+		if tids[i].Len() >= opts.MinSupport {
+			frontier = append(frontier, node{Item(i), tids[i]})
+		}
+	}
+	var out []Itemset
+	full := func() bool { return opts.MaxResults > 0 && len(out) >= opts.MaxResults }
+	var dfs func(prefix []Item, ext []node)
+	dfs = func(prefix []Item, ext []node) {
+		for i, n := range ext {
+			if full() {
+				return
+			}
+			items := append(append([]Item(nil), prefix...), n.item)
+			out = append(out, Itemset{Items: items, Support: n.tids.Len()})
+			if opts.MaxLen > 0 && len(items) >= opts.MaxLen {
+				continue
+			}
+			var next []node
+			for _, m := range ext[i+1:] {
+				inter := n.tids.Intersect(m.tids)
+				if inter.Len() >= opts.MinSupport {
+					next = append(next, node{m.item, inter})
+				}
+			}
+			if len(next) > 0 {
+				dfs(items, next)
+			}
+		}
+	}
+	dfs(nil, frontier)
+	if opts.MaxResults > 0 && len(out) > opts.MaxResults {
+		out = out[:opts.MaxResults]
+	}
+	return out, nil
+}
+
+// Contains reports whether tx (sorted) contains all items of set (sorted).
+func Contains(tx Transaction, set []Item) bool {
+	i := 0
+	for _, want := range set {
+		for i < len(tx) && tx[i] < want {
+			i++
+		}
+		if i >= len(tx) || tx[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}

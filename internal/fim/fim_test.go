@@ -1,0 +1,174 @@
+package fim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallDB() *DB {
+	// Classic toy database.
+	return NewDB([][]Item{
+		{0, 1, 2},
+		{0, 1},
+		{0, 2},
+		{1, 2},
+		{0, 1, 2, 3},
+	})
+}
+
+func TestNewDBNormalises(t *testing.T) {
+	db := NewDB([][]Item{{2, 0, 2, 1}})
+	want := Transaction{0, 1, 2}
+	got := db.Txs[0]
+	if len(got) != len(want) {
+		t.Fatalf("tx = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tx = %v, want %v", got, want)
+		}
+	}
+	if db.NumItems != 3 {
+		t.Fatalf("NumItems = %d, want 3", db.NumItems)
+	}
+}
+
+func TestItemFreqs(t *testing.T) {
+	db := smallDB()
+	f := db.ItemFreqs()
+	want := []int{4, 4, 4, 1}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("freq[%d] = %d, want %d", i, f[i], want[i])
+		}
+	}
+}
+
+func TestEclatSupports(t *testing.T) {
+	db := smallDB()
+	sets, err := Eclat(db, EclatOptions{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySig := map[string]int{}
+	for _, s := range sets {
+		sig := ""
+		for _, it := range s.Items {
+			sig += string(rune('a' + it))
+		}
+		bySig[sig] = s.Support
+	}
+	want := map[string]int{
+		"a": 4, "b": 4, "c": 4,
+		"ab": 3, "ac": 3, "bc": 3, "abc": 2,
+	}
+	if len(bySig) != len(want) {
+		t.Fatalf("mined %v, want %v", bySig, want)
+	}
+	for sig, sup := range want {
+		if bySig[sig] != sup {
+			t.Errorf("support(%s) = %d, want %d", sig, bySig[sig], sup)
+		}
+	}
+}
+
+func TestEclatMinSupportValidation(t *testing.T) {
+	if _, err := Eclat(smallDB(), EclatOptions{MinSupport: 0}); err == nil {
+		t.Fatal("MinSupport 0 accepted")
+	}
+}
+
+func TestEclatMaxLen(t *testing.T) {
+	sets, err := Eclat(smallDB(), EclatOptions{MinSupport: 1, MaxLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		if len(s.Items) > 1 {
+			t.Fatalf("MaxLen=1 produced %v", s.Items)
+		}
+	}
+	if len(sets) != 4 {
+		t.Fatalf("%d singletons, want 4", len(sets))
+	}
+}
+
+func TestEclatMaxResults(t *testing.T) {
+	sets, err := Eclat(smallDB(), EclatOptions{MinSupport: 1, MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("%d results, want 3", len(sets))
+	}
+}
+
+func TestContains(t *testing.T) {
+	tx := Transaction{1, 3, 5, 9}
+	if !Contains(tx, []Item{1, 5}) || !Contains(tx, []Item{9}) || !Contains(tx, nil) {
+		t.Fatal("Contains false negative")
+	}
+	if Contains(tx, []Item{2}) || Contains(tx, []Item{5, 10}) {
+		t.Fatal("Contains false positive")
+	}
+}
+
+// Property: every itemset Eclat reports has support equal to a brute-force
+// scan, and every frequent pair a brute-force scan finds is reported.
+func TestEclatMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := 5 + rng.Intn(20)
+		nItems := 3 + rng.Intn(5)
+		raw := make([][]Item, nTx)
+		for i := range raw {
+			for it := 0; it < nItems; it++ {
+				if rng.Float64() < 0.4 {
+					raw[i] = append(raw[i], Item(it))
+				}
+			}
+		}
+		db := NewDB(raw)
+		minSup := 1 + rng.Intn(3)
+		sets, err := Eclat(db, EclatOptions{MinSupport: minSup})
+		if err != nil {
+			return false
+		}
+		for _, s := range sets {
+			n := 0
+			for _, tx := range db.Txs {
+				if Contains(tx, s.Items) {
+					n++
+				}
+			}
+			if n != s.Support || n < minSup {
+				return false
+			}
+		}
+		// Brute-force all pairs.
+		reported := map[[2]Item]bool{}
+		for _, s := range sets {
+			if len(s.Items) == 2 {
+				reported[[2]Item{s.Items[0], s.Items[1]}] = true
+			}
+		}
+		for a := 0; a < nItems; a++ {
+			for b := a + 1; b < nItems; b++ {
+				n := 0
+				for _, tx := range db.Txs {
+					if Contains(tx, []Item{Item(a), Item(b)}) {
+						n++
+					}
+				}
+				if n >= minSup && !reported[[2]Item{Item(a), Item(b)}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

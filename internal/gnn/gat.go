@@ -1,0 +1,161 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"cspm/internal/completion"
+	"cspm/internal/graph"
+	"cspm/internal/tensor"
+)
+
+// gatModel is a two-layer graph attention network [13] with single-head
+// additive attention. The per-edge attention softmax is implemented as a
+// fused custom autograd primitive over the edge list (gatAggregate), keeping
+// memory linear in |E| instead of densifying the n×n attention matrix.
+type gatModel struct{ cfg Config }
+
+// NewGAT returns the GAT baseline.
+func NewGAT(cfg Config) Model { return &gatModel{cfg: cfg.withDefaults()} }
+
+func (m *gatModel) Name() string { return "GAT" }
+
+const leakySlope = 0.2
+
+// neighborLists precomputes each vertex's neighbour list with a self-loop
+// appended (GAT attends over N(i) ∪ {i}).
+func neighborLists(g *graph.Graph) [][]int {
+	out := make([][]int, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs := g.Neighbors(graph.VertexID(v))
+		lst := make([]int, 0, len(nbrs)+1)
+		for _, u := range nbrs {
+			lst = append(lst, int(u))
+		}
+		lst = append(lst, v)
+		out[v] = lst
+	}
+	return out
+}
+
+// gatAggregate computes out_i = Σ_{j∈N(i)} α_ij·z_j with
+// α_ij = softmax_j(LeakyReLU(s_i + d_j)) as one fused tape operation.
+func gatAggregate(t *tensor.Tape, z, s, d *tensor.Node, nbrs [][]int) *tensor.Node {
+	n := z.Value.Rows
+	h := z.Value.Cols
+	out := tensor.NewMatrix(n, h)
+	// Forward: keep α and pre-activations for the backward pass.
+	alpha := make([][]float64, n)
+	pre := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		lst := nbrs[i]
+		a := make([]float64, len(lst))
+		p := make([]float64, len(lst))
+		maxE := math.Inf(-1)
+		for k, j := range lst {
+			e := s.Value.Data[i] + d.Value.Data[j]
+			p[k] = e
+			if e < 0 {
+				e *= leakySlope
+			}
+			a[k] = e
+			if e > maxE {
+				maxE = e
+			}
+		}
+		sum := 0.0
+		for k := range a {
+			a[k] = math.Exp(a[k] - maxE)
+			sum += a[k]
+		}
+		orow := out.Row(i)
+		for k, j := range lst {
+			a[k] /= sum
+			zrow := z.Value.Row(j)
+			for c := 0; c < h; c++ {
+				orow[c] += a[k] * zrow[c]
+			}
+		}
+		alpha[i] = a
+		pre[i] = p
+	}
+	return t.Custom(out, []*tensor.Node{z, s, d}, func(outNode *tensor.Node) {
+		g := outNode.Grad
+		for i := 0; i < n; i++ {
+			lst := nbrs[i]
+			a := alpha[i]
+			grow := g.Row(i)
+			// u_k = g_i · z_{j_k}; dot = Σ_k α_k u_k.
+			u := make([]float64, len(lst))
+			dot := 0.0
+			for k, j := range lst {
+				zrow := z.Value.Row(j)
+				for c := 0; c < h; c++ {
+					u[k] += grow[c] * zrow[c]
+				}
+				dot += a[k] * u[k]
+			}
+			for k, j := range lst {
+				// Aggregation path: grad z_j += α·g_i.
+				zg := z.Grad.Row(j)
+				for c := 0; c < h; c++ {
+					zg[c] += a[k] * grow[c]
+				}
+				// Attention path through softmax and LeakyReLU.
+				delta := a[k] * (u[k] - dot)
+				if pre[i][k] < 0 {
+					delta *= leakySlope
+				}
+				s.Grad.Data[i] += delta
+				d.Grad.Data[j] += delta
+			}
+		}
+	})
+}
+
+type gatLayer struct {
+	w    *tensor.Parameter
+	aSrc *tensor.Parameter
+	aDst *tensor.Parameter
+}
+
+func newGATLayer(in, out int, rng *rand.Rand) *gatLayer {
+	return &gatLayer{
+		w:    glorotParam(in, out, rng),
+		aSrc: glorotParam(out, 1, rng),
+		aDst: glorotParam(out, 1, rng),
+	}
+}
+
+func (l *gatLayer) apply(t *tensor.Tape, x *tensor.Node, nbrs [][]int) *tensor.Node {
+	z := t.MatMul(x, t.Param(l.w))
+	s := t.MatMul(z, t.Param(l.aSrc))
+	d := t.MatMul(z, t.Param(l.aDst))
+	return gatAggregate(t, z, s, d, nbrs)
+}
+
+func (m *gatModel) FitPredict(task *completion.Task) *tensor.Matrix {
+	cfg := m.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nbrs := neighborLists(task.G)
+	l0 := newGATLayer(task.NumAttr, cfg.Hidden, rng)
+	l1 := newGATLayer(cfg.Hidden, task.NumAttr, rng)
+	opt := tensor.NewAdam(cfg.LR)
+	opt.Register(l0.w, l0.aSrc, l0.aDst, l1.w, l1.aSrc, l1.aDst)
+	x := task.Masked
+	forward := func(t *tensor.Tape, train bool) *tensor.Node {
+		h := t.ReLU(l0.apply(t, t.Const(x), nbrs))
+		if train {
+			h = t.Dropout(h, cfg.Dropout, rng)
+		}
+		return l1.apply(t, h, nbrs)
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		t := tensor.NewTape()
+		loss := t.MaskedBCE(forward(t, true), task.Attr, task.TrainMask)
+		t.Backward(loss)
+		opt.Step()
+	}
+	t := tensor.NewTape()
+	return forward(t, false).Value
+}

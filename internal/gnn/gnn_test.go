@@ -1,0 +1,198 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cspm/internal/completion"
+	"cspm/internal/dataset"
+	"cspm/internal/graph"
+	"cspm/internal/tensor"
+)
+
+func tinyTask(t *testing.T, seed int64) *completion.Task {
+	t.Helper()
+	g, _ := dataset.Citation(dataset.CitationConfig{
+		Name: "tiny", Nodes: 250, Classes: 5, Attrs: 50, AttrsPerNode: 6, Homophily: 0.9, Seed: seed,
+	})
+	task, err := completion.NewTask(g, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func quickCfg(seed int64) Config {
+	return Config{Hidden: 16, Epochs: 60, LR: 0.02, Seed: seed}
+}
+
+// randomScores is the floor every trained model must clear.
+func randomScores(task *completion.Task, seed int64) *tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.NewMatrix(task.G.NumVertices(), task.NumAttr)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+func TestAllModelsBeatRandom(t *testing.T) {
+	task := tinyTask(t, 11)
+	ks := []int{10}
+	base := completion.Evaluate(task, randomScores(task, 1), ks).RecallAtK[10]
+	models := []Model{
+		NeighAggre{},
+		NewGCN(quickCfg(2)),
+		NewGraphSage(quickCfg(3)),
+		NewGAT(quickCfg(4)),
+		NewVAE(quickCfg(5)),
+		NewSAT(quickCfg(6)),
+	}
+	for _, m := range models {
+		scores := m.FitPredict(task)
+		got := completion.Evaluate(task, scores, ks).RecallAtK[10]
+		t.Logf("%s recall@10 = %.4f (random %.4f)", m.Name(), got, base)
+		if got <= base {
+			t.Errorf("%s did not beat random: %.4f <= %.4f", m.Name(), got, base)
+		}
+		for _, v := range scores.Data {
+			if math.IsNaN(v) {
+				t.Fatalf("%s produced NaN scores", m.Name())
+			}
+		}
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	task := tinyTask(t, 13)
+	a := NewGCN(quickCfg(7)).FitPredict(task)
+	b := NewGCN(quickCfg(7)).FitPredict(task)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("GCN training is not deterministic under a fixed seed")
+	}
+}
+
+func TestNeighAggreIgnoresHiddenNeighbors(t *testing.T) {
+	// Two nodes, both attributed, one hidden: the hidden node's prediction
+	// must come only from its observed neighbour.
+	b := graph.NewBuilder(3)
+	_ = b.AddAttr(0, "a")
+	_ = b.AddAttr(1, "b")
+	_ = b.AddAttr(2, "c")
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	g := b.Build()
+	task, err := completion.NewTask(g, 0.34, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := NeighAggre{}.FitPredict(task)
+	for _, v := range task.TestNodes {
+		row := scores.Row(int(v))
+		sum := 0.0
+		for _, x := range row {
+			sum += x
+		}
+		// Neighbour averages of binary vectors stay within [0,1].
+		for _, x := range row {
+			if x < 0 || x > 1 {
+				t.Fatalf("NeighAggre score %v outside [0,1]", x)
+			}
+		}
+		_ = sum
+	}
+}
+
+// TestGATAggregateGradient numerically validates the fused attention
+// primitive, the only hand-derived backward pass in the package.
+func TestGATAggregateGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Small graph: 4 nodes in a path.
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 3)
+	for v := 0; v < 4; v++ {
+		_ = b.AddAttr(graph.VertexID(v), "x")
+	}
+	g := b.Build()
+	nbrs := neighborLists(g)
+
+	zm := tensor.NewMatrix(4, 3)
+	for i := range zm.Data {
+		zm.Data[i] = rng.NormFloat64()
+	}
+	z := tensor.NewParameter(zm)
+	sm := tensor.NewMatrix(4, 1)
+	dm := tensor.NewMatrix(4, 1)
+	for i := 0; i < 4; i++ {
+		sm.Data[i] = rng.NormFloat64()
+		dm.Data[i] = rng.NormFloat64()
+	}
+	s := tensor.NewParameter(sm)
+	d := tensor.NewParameter(dm)
+
+	loss := func(tape *tensor.Tape) *tensor.Node {
+		out := gatAggregate(tape, tape.Param(z), tape.Param(s), tape.Param(d), nbrs)
+		return tape.Mean(tape.Mul(out, out))
+	}
+	for name, p := range map[string]*tensor.Parameter{"z": z, "s": s, "d": d} {
+		p.Grad.Zero()
+		z.Grad.Zero()
+		s.Grad.Zero()
+		d.Grad.Zero()
+		tape := tensor.NewTape()
+		l := loss(tape)
+		tape.Backward(l)
+		analytic := p.Grad.Clone()
+		const h = 1e-6
+		numeric := tensor.NewMatrix(p.Value.Rows, p.Value.Cols)
+		for k := range p.Value.Data {
+			orig := p.Value.Data[k]
+			p.Value.Data[k] = orig + h
+			up := loss(tensor.NewTape()).Value.Data[0]
+			p.Value.Data[k] = orig - h
+			down := loss(tensor.NewTape()).Value.Data[0]
+			p.Value.Data[k] = orig
+			numeric.Data[k] = (up - down) / (2 * h)
+		}
+		if diff := tensor.MaxAbsDiff(analytic, numeric); diff > 1e-5 {
+			t.Fatalf("GAT gradient wrt %s off by %v\nanalytic %v\nnumeric %v",
+				name, diff, analytic.Data, numeric.Data)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Hidden == 0 || c.Epochs == 0 || c.LR == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Hidden: 7, Epochs: 3, LR: 0.5}.withDefaults()
+	if c2.Hidden != 7 || c2.Epochs != 3 || c2.LR != 0.5 {
+		t.Fatalf("explicit config overridden: %+v", c2)
+	}
+}
+
+func TestDropoutTrainingPath(t *testing.T) {
+	task := tinyTask(t, 29)
+	cfg := quickCfg(8)
+	cfg.Dropout = 0.3
+	scores := NewGCN(cfg).FitPredict(task)
+	for _, v := range scores.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("dropout training produced non-finite scores")
+		}
+	}
+}
+
+func TestModelsDisjointSeedsDiffer(t *testing.T) {
+	task := tinyTask(t, 31)
+	a := NewGCN(quickCfg(1)).FitPredict(task)
+	b := NewGCN(quickCfg(2)).FitPredict(task)
+	if tensor.MaxAbsDiff(a, b) == 0 {
+		t.Fatal("different seeds produced identical models (RNG not threaded)")
+	}
+}

@@ -1,0 +1,248 @@
+// Package gnn implements the node-attribute-completion baselines of
+// Table IV on the tensor substrate: NeighAggre, VAE, GCN, GAT, GraphSage and
+// SAT. Each model consumes a completion.Task (attributes hidden on test
+// rows) and produces an n×|A| score matrix ranking candidate attribute
+// values per node.
+//
+// Architectures follow the cited papers at small hidden sizes; SAT is
+// implemented as its core idea — a shared latent space aligning a structure
+// encoder with an attribute autoencoder — rather than the released code (see
+// DESIGN.md, substitution 2).
+package gnn
+
+import (
+	"math/rand"
+
+	"cspm/internal/completion"
+	"cspm/internal/tensor"
+)
+
+// Model is an attribute-completion model.
+type Model interface {
+	Name() string
+	// FitPredict trains on the task's observed rows and returns an n×|A|
+	// score matrix (higher = more likely attribute value).
+	FitPredict(task *completion.Task) *tensor.Matrix
+}
+
+// Config bundles the shared training hyper-parameters. Zero values fall
+// back to defaults; the experiments use one Config for all models.
+type Config struct {
+	Hidden  int
+	Epochs  int
+	LR      float64
+	Dropout float64
+	Seed    int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 120
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// NeighAggre is the non-parametric baseline [39]: a node's attribute scores
+// are the mean of its (observed) neighbours' attribute vectors.
+type NeighAggre struct{}
+
+// Name implements Model.
+func (NeighAggre) Name() string { return "NeighAggre" }
+
+// FitPredict implements Model.
+func (NeighAggre) FitPredict(task *completion.Task) *tensor.Matrix {
+	n := task.G.NumVertices()
+	out := tensor.NewMatrix(n, task.NumAttr)
+	for v := 0; v < n; v++ {
+		row := out.Row(v)
+		cnt := 0
+		for _, u := range task.G.Neighbors(uint32(v)) {
+			if !task.TrainMask[u] {
+				continue // hidden neighbours contribute nothing
+			}
+			cnt++
+			urow := task.Masked.Row(int(u))
+			for j, x := range urow {
+				row[j] += x
+			}
+		}
+		if cnt > 0 {
+			for j := range row {
+				row[j] /= float64(cnt)
+			}
+		}
+	}
+	return out
+}
+
+// gcnModel is a two-layer GCN [12]: Â·ReLU(Â·X·W₀)·W₁ trained with masked
+// BCE against the observed attribute rows.
+type gcnModel struct{ cfg Config }
+
+// NewGCN returns the GCN baseline.
+func NewGCN(cfg Config) Model { return &gcnModel{cfg: cfg.withDefaults()} }
+
+func (m *gcnModel) Name() string { return "GCN" }
+
+func (m *gcnModel) FitPredict(task *completion.Task) *tensor.Matrix {
+	cfg := m.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	adj := task.NormalizedAdjacency()
+	nA := task.NumAttr
+	w0 := glorotParam(nA, cfg.Hidden, rng)
+	w1 := glorotParam(cfg.Hidden, nA, rng)
+	opt := tensor.NewAdam(cfg.LR)
+	opt.Register(w0, w1)
+	x := task.Masked
+	forward := func(t *tensor.Tape, train bool) *tensor.Node {
+		h := t.SpMM(adj, t.MatMul(t.Const(x), t.Param(w0)))
+		h = t.ReLU(h)
+		if train {
+			h = t.Dropout(h, cfg.Dropout, rng)
+		}
+		return t.SpMM(adj, t.MatMul(h, t.Param(w1)))
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		t := tensor.NewTape()
+		loss := t.MaskedBCE(forward(t, true), task.Attr, task.TrainMask)
+		t.Backward(loss)
+		opt.Step()
+	}
+	t := tensor.NewTape()
+	return forward(t, false).Value
+}
+
+// sageModel is a two-layer GraphSage [44] with mean aggregation: each layer
+// concatenates self and neighbour-mean features through separate weights.
+type sageModel struct{ cfg Config }
+
+// NewGraphSage returns the GraphSage baseline.
+func NewGraphSage(cfg Config) Model { return &sageModel{cfg: cfg.withDefaults()} }
+
+func (m *sageModel) Name() string { return "GraphSage" }
+
+func (m *sageModel) FitPredict(task *completion.Task) *tensor.Matrix {
+	cfg := m.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mean := task.MeanAdjacency()
+	nA := task.NumAttr
+	wSelf0 := glorotParam(nA, cfg.Hidden, rng)
+	wNbr0 := glorotParam(nA, cfg.Hidden, rng)
+	wSelf1 := glorotParam(cfg.Hidden, nA, rng)
+	wNbr1 := glorotParam(cfg.Hidden, nA, rng)
+	opt := tensor.NewAdam(cfg.LR)
+	opt.Register(wSelf0, wNbr0, wSelf1, wNbr1)
+	x := task.Masked
+	layer := func(t *tensor.Tape, h *tensor.Node, ws, wn *tensor.Parameter) *tensor.Node {
+		self := t.MatMul(h, t.Param(ws))
+		nbr := t.MatMul(t.SpMM(mean, h), t.Param(wn))
+		return t.Add(self, nbr)
+	}
+	forward := func(t *tensor.Tape, train bool) *tensor.Node {
+		h := t.ReLU(layer(t, t.Const(x), wSelf0, wNbr0))
+		if train {
+			h = t.Dropout(h, cfg.Dropout, rng)
+		}
+		return layer(t, h, wSelf1, wNbr1)
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		t := tensor.NewTape()
+		loss := t.MaskedBCE(forward(t, true), task.Attr, task.TrainMask)
+		t.Backward(loss)
+		opt.Step()
+	}
+	t := tensor.NewTape()
+	return forward(t, false).Value
+}
+
+// vaeModel is a variational autoencoder [43] over attribute rows: encoder
+// MLP → (μ, logσ²), reparameterised sample, decoder MLP → attribute logits.
+// Hidden test rows are reconstructed through neighbour-mean latent codes.
+type vaeModel struct{ cfg Config }
+
+// NewVAE returns the VAE baseline.
+func NewVAE(cfg Config) Model { return &vaeModel{cfg: cfg.withDefaults()} }
+
+func (m *vaeModel) Name() string { return "VAE" }
+
+func (m *vaeModel) FitPredict(task *completion.Task) *tensor.Matrix {
+	cfg := m.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nA := task.NumAttr
+	wEnc := glorotParam(nA, cfg.Hidden, rng)
+	wMu := glorotParam(cfg.Hidden, cfg.Hidden, rng)
+	wLog := glorotParam(cfg.Hidden, cfg.Hidden, rng)
+	wDec := glorotParam(cfg.Hidden, nA, rng)
+	opt := tensor.NewAdam(cfg.LR)
+	opt.Register(wEnc, wMu, wLog, wDec)
+	x := task.Masked
+	n := task.G.NumVertices()
+	for e := 0; e < cfg.Epochs; e++ {
+		t := tensor.NewTape()
+		h := t.ReLU(t.MatMul(t.Const(x), t.Param(wEnc)))
+		mu := t.MatMul(h, t.Param(wMu))
+		logvar := t.MatMul(h, t.Param(wLog))
+		// Reparameterisation: z = μ + ε·exp(logvar/2).
+		eps := tensor.NewMatrix(n, cfg.Hidden)
+		for i := range eps.Data {
+			eps.Data[i] = rng.NormFloat64()
+		}
+		std := t.Exp(t.Scale(logvar, 0.5))
+		z := t.Add(mu, t.Mul(std, t.Const(eps)))
+		logits := t.MatMul(z, t.Param(wDec))
+		recon := t.MaskedBCE(logits, task.Attr, task.TrainMask)
+		// KL(q||N(0,I)) = −½ Σ (1 + logvar − μ² − e^logvar), averaged.
+		kl := t.Scale(
+			t.Sum(t.Sub(t.Add(t.Mul(mu, mu), t.Exp(logvar)), t.Add(t.Const(ones(n, cfg.Hidden)), logvar))),
+			0.5/float64(n*cfg.Hidden))
+		loss := t.Add(recon, t.Scale(kl, 0.1))
+		t.Backward(loss)
+		opt.Step()
+	}
+	// Inference: encode observed rows; hidden rows borrow the mean latent of
+	// their observed neighbours, then decode.
+	t := tensor.NewTape()
+	h := t.ReLU(t.MatMul(t.Const(x), t.Param(wEnc)))
+	mu := t.MatMul(h, t.Param(wMu)).Value
+	for _, v := range task.TestNodes {
+		row := mu.Row(int(v))
+		for j := range row {
+			row[j] = 0
+		}
+		cnt := 0
+		for _, u := range task.G.Neighbors(v) {
+			if !task.TrainMask[u] {
+				continue
+			}
+			cnt++
+			urow := mu.Row(int(u))
+			for j := range row {
+				row[j] += urow[j]
+			}
+		}
+		if cnt > 0 {
+			for j := range row {
+				row[j] /= float64(cnt)
+			}
+		}
+	}
+	return tensor.MatMul(mu, wDec.Value)
+}
+
+func glorotParam(rows, cols int, rng *rand.Rand) *tensor.Parameter {
+	m := tensor.NewMatrix(rows, cols)
+	tensor.Glorot(m, rng)
+	return tensor.NewParameter(m)
+}
+
+func ones(r, c int) *tensor.Matrix {
+	m := tensor.NewMatrix(r, c)
+	m.Fill(1)
+	return m
+}

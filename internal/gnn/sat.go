@@ -1,0 +1,73 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"cspm/internal/completion"
+	"cspm/internal/tensor"
+)
+
+// satModel is a simplified SAT [8] (structure-attribute transformer): a
+// structure encoder (free node embeddings propagated through the normalised
+// adjacency) and an attribute encoder are trained to meet in a shared latent
+// space — both decode to attributes through the same decoder, and their
+// latents are aligned with an MSE term on observed rows. Test nodes, which
+// have no attributes, are completed by decoding their structure latent.
+type satModel struct{ cfg Config }
+
+// NewSAT returns the (simplified) SAT baseline.
+func NewSAT(cfg Config) Model { return &satModel{cfg: cfg.withDefaults()} }
+
+func (m *satModel) Name() string { return "SAT" }
+
+func (m *satModel) FitPredict(task *completion.Task) *tensor.Matrix {
+	cfg := m.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	adj := task.NormalizedAdjacency()
+	n := task.G.NumVertices()
+	nA := task.NumAttr
+
+	embed := glorotParam(n, cfg.Hidden, rng) // free structure embeddings
+	wS := glorotParam(cfg.Hidden, cfg.Hidden, rng)
+	wA := glorotParam(nA, cfg.Hidden, rng)
+	wDec := glorotParam(cfg.Hidden, nA, rng)
+	opt := tensor.NewAdam(cfg.LR)
+	opt.Register(embed, wS, wA, wDec)
+
+	x := task.Masked
+	rowMaskMat := tensor.NewMatrix(n, cfg.Hidden)
+	for v := 0; v < n; v++ {
+		if task.TrainMask[v] {
+			row := rowMaskMat.Row(v)
+			for j := range row {
+				row[j] = 1
+			}
+		}
+	}
+	trainRows := 0
+	for _, m := range task.TrainMask {
+		if m {
+			trainRows++
+		}
+	}
+
+	structLatent := func(t *tensor.Tape) *tensor.Node {
+		return t.Tanh(t.MatMul(t.SpMM(adj, t.Param(embed)), t.Param(wS)))
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		t := tensor.NewTape()
+		zs := structLatent(t)
+		za := t.Tanh(t.MatMul(t.Const(x), t.Param(wA)))
+		// Both views decode through the shared decoder.
+		lossS := t.MaskedBCE(t.MatMul(zs, t.Param(wDec)), task.Attr, task.TrainMask)
+		lossA := t.MaskedBCE(t.MatMul(za, t.Param(wDec)), task.Attr, task.TrainMask)
+		// Latent alignment on observed rows.
+		diff := t.Mul(t.Sub(zs, za), t.Const(rowMaskMat))
+		align := t.Scale(t.Sum(t.Mul(diff, diff)), 1/float64(trainRows*cfg.Hidden))
+		loss := t.Add(t.Add(lossS, lossA), t.Scale(align, 0.5))
+		t.Backward(loss)
+		opt.Step()
+	}
+	t := tensor.NewTape()
+	return tensor.MatMul(structLatent(t).Value, wDec.Value)
+}

@@ -1,0 +1,236 @@
+// Package graph implements the attributed-graph substrate for CSPM: an
+// undirected graph whose vertices carry sets of nominal attribute values
+// (paper §III). It provides construction, validation, adjacency access,
+// attribute interning, statistics (Table II columns) and text-format I/O.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex; vertices are dense 0..N-1.
+type VertexID = uint32
+
+// Graph is an undirected attributed graph G = (A, λ, V, E). Self-loops are
+// rejected (paper §III); parallel edges collapse to one.
+//
+// A Graph is built through Builder or the loaders and is immutable
+// afterwards, which makes it safe for concurrent readers.
+type Graph struct {
+	adj   [][]VertexID // sorted neighbour lists
+	attrs [][]AttrID   // sorted attribute values per vertex
+	vocab *Vocab
+	edges int
+}
+
+// Builder accumulates vertices, edges and attribute values and produces an
+// immutable Graph.
+type Builder struct {
+	n     int
+	adj   []map[VertexID]struct{}
+	attrs []map[AttrID]struct{}
+	vocab *Vocab
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		n:     n,
+		adj:   make([]map[VertexID]struct{}, n),
+		attrs: make([]map[AttrID]struct{}, n),
+		vocab: NewVocab(),
+	}
+}
+
+// Vocab exposes the builder's vocabulary so callers can pre-intern values.
+func (b *Builder) Vocab() *Vocab { return b.vocab }
+
+// ErrSelfLoop is returned when an edge connects a vertex to itself.
+var ErrSelfLoop = errors.New("graph: self-loops are not allowed")
+
+// AddEdge inserts the undirected edge {u, v}. Adding an existing edge is a
+// no-op. It returns ErrSelfLoop for u == v and an error for out-of-range ids.
+func (b *Builder) AddEdge(u, v VertexID) error {
+	if u == v {
+		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	if int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} outside vertex range [0,%d)", u, v, b.n)
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[VertexID]struct{})
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[VertexID]struct{})
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+	return nil
+}
+
+// AddAttr attaches the attribute value named val to vertex v, interning it.
+func (b *Builder) AddAttr(v VertexID, val string) error {
+	return b.AddAttrID(v, b.vocab.ID(val))
+}
+
+// AddAttrID attaches an already interned attribute value to vertex v.
+func (b *Builder) AddAttrID(v VertexID, id AttrID) error {
+	if int(v) >= b.n {
+		return fmt.Errorf("graph: vertex %d outside range [0,%d)", v, b.n)
+	}
+	if b.attrs[v] == nil {
+		b.attrs[v] = make(map[AttrID]struct{})
+	}
+	b.attrs[v][id] = struct{}{}
+	return nil
+}
+
+// Build freezes the builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		adj:   make([][]VertexID, b.n),
+		attrs: make([][]AttrID, b.n),
+		vocab: b.vocab,
+	}
+	for v := 0; v < b.n; v++ {
+		if m := b.adj[v]; len(m) > 0 {
+			lst := make([]VertexID, 0, len(m))
+			for u := range m {
+				lst = append(lst, u)
+			}
+			sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+			g.adj[v] = lst
+			g.edges += len(lst)
+		}
+		if m := b.attrs[v]; len(m) > 0 {
+			lst := make([]AttrID, 0, len(m))
+			for a := range m {
+				lst = append(lst, a)
+			}
+			sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+			g.attrs[v] = lst
+		}
+	}
+	g.edges /= 2
+	return g
+}
+
+// NumVertices reports |V|.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges reports |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Neighbors returns the sorted neighbour list of v. Callers must not modify
+// the returned slice.
+func (g *Graph) Neighbors(v VertexID) []VertexID { return g.adj[v] }
+
+// Degree reports the number of neighbours of v.
+func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+
+// Attrs returns the sorted attribute values of v. Callers must not modify
+// the returned slice.
+func (g *Graph) Attrs(v VertexID) []AttrID { return g.attrs[v] }
+
+// HasAttr reports whether vertex v carries attribute value a.
+func (g *Graph) HasAttr(v VertexID, a AttrID) bool {
+	lst := g.attrs[v]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= a })
+	return i < len(lst) && lst[i] == a
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	lst := g.adj[u]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
+	return i < len(lst) && lst[i] == v
+}
+
+// Vocab returns the attribute vocabulary shared by all vertices.
+func (g *Graph) Vocab() *Vocab { return g.vocab }
+
+// NumAttrValues reports |A|, the number of distinct attribute values.
+func (g *Graph) NumAttrValues() int { return g.vocab.Size() }
+
+// AttrOccurrences counts (vertex, value) pairs, i.e. Σ_v |λ(v)|.
+func (g *Graph) AttrOccurrences() int {
+	n := 0
+	for _, lst := range g.attrs {
+		n += len(lst)
+	}
+	return n
+}
+
+// Connected reports whether the graph is connected (isolated-vertex-free
+// inputs only; an empty graph counts as connected).
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []VertexID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == n
+}
+
+// Stats summarises a graph for Table II-style reporting.
+type Stats struct {
+	Vertices     int
+	Edges        int
+	AttrValues   int // |A|
+	Occurrences  int // Σ_v |λ(v)|
+	AvgDegree    float64
+	AvgAttrs     float64
+	MaxDegree    int
+	IsConnected  bool
+	UsedCoresets int // attribute values occurring on ≥1 vertex with ≥1 neighbour
+}
+
+// ComputeStats derives summary statistics in one pass.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		AttrValues:  g.NumAttrValues(),
+		Occurrences: g.AttrOccurrences(),
+		IsConnected: g.Connected(),
+	}
+	used := make(map[AttrID]struct{})
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+		if len(g.adj[v]) > 0 {
+			for _, a := range g.attrs[v] {
+				used[a] = struct{}{}
+			}
+		}
+	}
+	st.UsedCoresets = len(used)
+	if st.Vertices > 0 {
+		st.AvgDegree = 2 * float64(st.Edges) / float64(st.Vertices)
+		st.AvgAttrs = float64(st.Occurrences) / float64(st.Vertices)
+	}
+	return st
+}
+
+// String renders the stats as a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d |A|=%d occ=%d avgDeg=%.2f avgAttrs=%.2f connected=%v",
+		s.Vertices, s.Edges, s.AttrValues, s.Occurrences, s.AvgDegree, s.AvgAttrs, s.IsConnected)
+}

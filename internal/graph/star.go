@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the star-shaped structural notions of paper §III:
+// stars, extended stars, their appearances in an attributed graph, and the
+// matching relation between attribute-stars and stars. The miner itself
+// never materialises stars (the inverted database encodes them implicitly);
+// these operations serve validation, pattern explanation, and downstream
+// consumers that need concrete occurrences.
+
+// Star is an undirected star graph: a core adjacent to every leaf, with no
+// leaf-leaf edges (paper §III).
+type Star struct {
+	Core   VertexID
+	Leaves []VertexID
+}
+
+// StarAt returns the star centred at v in g, using all neighbours as leaves.
+// Any vertex of a graph is the core of such a star (§IV-B).
+func StarAt(g *Graph, v VertexID) Star {
+	return Star{Core: v, Leaves: append([]VertexID(nil), g.Neighbors(v)...)}
+}
+
+// ExtendedStar is a star with attribute values attached to its vertices
+// (paper §III): a concrete pattern with both structure and labels.
+type ExtendedStar struct {
+	CoreAttrs []AttrID   // attribute values of the core
+	LeafAttrs [][]AttrID // attribute values of each leaf, by leaf position
+}
+
+// Validate checks structural sanity: at least one leaf, sorted value sets.
+func (x ExtendedStar) Validate() error {
+	if len(x.LeafAttrs) == 0 {
+		return fmt.Errorf("graph: extended star needs at least one leaf")
+	}
+	check := func(vals []AttrID, what string) error {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				return fmt.Errorf("graph: %s attribute values must be sorted and distinct", what)
+			}
+		}
+		return nil
+	}
+	if err := check(x.CoreAttrs, "core"); err != nil {
+		return err
+	}
+	for _, leaf := range x.LeafAttrs {
+		if err := check(leaf, "leaf"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subset reports whether every value of want appears in the sorted have.
+func subset(want, have []AttrID) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// AppearsAt reports whether the extended star appears in g with its core
+// mapped to vertex v (paper §III's appearance: an injective mapping of
+// leaves to distinct neighbours, each carrying the leaf's attribute values;
+// the core must carry the core values).
+func (x ExtendedStar) AppearsAt(g *Graph, v VertexID) bool {
+	if !subset(x.CoreAttrs, g.Attrs(v)) {
+		return false
+	}
+	nbrs := g.Neighbors(v)
+	if len(nbrs) < len(x.LeafAttrs) {
+		return false
+	}
+	// Bipartite matching between pattern leaves and neighbours. Leaf counts
+	// are tiny (pattern-sized), so the classic augmenting-path matcher is
+	// plenty.
+	candidates := make([][]int, len(x.LeafAttrs))
+	for li, want := range x.LeafAttrs {
+		for ni, u := range nbrs {
+			if subset(want, g.Attrs(u)) {
+				candidates[li] = append(candidates[li], ni)
+			}
+		}
+		if len(candidates[li]) == 0 {
+			return false
+		}
+	}
+	matchOfNbr := make([]int, len(nbrs))
+	for i := range matchOfNbr {
+		matchOfNbr[i] = -1
+	}
+	var try func(li int, seen []bool) bool
+	try = func(li int, seen []bool) bool {
+		for _, ni := range candidates[li] {
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			if matchOfNbr[ni] == -1 || try(matchOfNbr[ni], seen) {
+				matchOfNbr[ni] = li
+				return true
+			}
+		}
+		return false
+	}
+	for li := range x.LeafAttrs {
+		if !try(li, make([]bool, len(nbrs))) {
+			return false
+		}
+	}
+	return true
+}
+
+// Appearances returns all core vertices where the extended star appears.
+func (x ExtendedStar) Appearances(g *Graph) []VertexID {
+	var out []VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if x.AppearsAt(g, VertexID(v)) {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// AStarShape is the (coreset, leafset) shape of an attribute-star, used for
+// matching against concrete stars (paper §IV-A). It deliberately mirrors the
+// miner's pattern type without importing it: graph stays dependency-free.
+type AStarShape struct {
+	Core []AttrID // sorted
+	Leaf []AttrID // sorted
+}
+
+// MatchesAt reports whether the a-star matches the star centred at v
+// (paper §IV-A): (1) the core vertex carries every core value, and (2) for
+// every leaf value some neighbour carries it. Unlike extended stars, leaf
+// values may share a neighbour and need no injective mapping.
+func (s AStarShape) MatchesAt(g *Graph, v VertexID) bool {
+	if !subset(s.Core, g.Attrs(v)) {
+		return false
+	}
+	for _, lv := range s.Leaf {
+		found := false
+		for _, u := range g.Neighbors(v) {
+			if g.HasAttr(u, lv) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches returns all core vertices whose stars the a-star matches — by
+// construction of the inverted database, exactly the positions the miner
+// records for the corresponding line.
+func (s AStarShape) Matches(g *Graph) []VertexID {
+	var out []VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if s.MatchesAt(g, VertexID(v)) {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// NewAStarShape sorts and validates the value sets.
+func NewAStarShape(core, leaf []AttrID) (AStarShape, error) {
+	s := AStarShape{
+		Core: append([]AttrID(nil), core...),
+		Leaf: append([]AttrID(nil), leaf...),
+	}
+	sort.Slice(s.Core, func(i, j int) bool { return s.Core[i] < s.Core[j] })
+	sort.Slice(s.Leaf, func(i, j int) bool { return s.Leaf[i] < s.Leaf[j] })
+	if len(s.Leaf) == 0 {
+		return s, fmt.Errorf("graph: a-star needs at least one leaf value")
+	}
+	for i := 1; i < len(s.Core); i++ {
+		if s.Core[i] == s.Core[i-1] {
+			return s, fmt.Errorf("graph: duplicate core value %d", s.Core[i])
+		}
+	}
+	for i := 1; i < len(s.Leaf); i++ {
+		if s.Leaf[i] == s.Leaf[i-1] {
+			return s, fmt.Errorf("graph: duplicate leaf value %d", s.Leaf[i])
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStarAt(t *testing.T) {
+	g := fig1(t)
+	s := StarAt(g, 0)
+	if s.Core != 0 || len(s.Leaves) != 3 {
+		t.Fatalf("StarAt(v1) = %+v", s)
+	}
+}
+
+func ids(t *testing.T, g *Graph, names ...string) []AttrID {
+	t.Helper()
+	out := make([]AttrID, len(names))
+	for i, n := range names {
+		id, ok := g.Vocab().Lookup(n)
+		if !ok {
+			t.Fatalf("value %q missing", n)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// TestExtendedStarFig1 reproduces the paper's Fig. 1(b)/(c): the extended
+// star with core {a} and leaves {b}, {c} appears at v1 (leaves v4, v3) and
+// at v5 (leaves v4, v3).
+func TestExtendedStarFig1(t *testing.T) {
+	g := fig1(t)
+	x := ExtendedStar{
+		CoreAttrs: ids(t, g, "a"),
+		LeafAttrs: [][]AttrID{ids(t, g, "b"), ids(t, g, "c")},
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := x.Appearances(g)
+	want := []VertexID{0, 4} // v1 and v5
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Appearances = %v, want %v", got, want)
+	}
+}
+
+func TestExtendedStarInjectiveMapping(t *testing.T) {
+	// Core with ONE neighbour carrying x: the pattern wanting two x-leaves
+	// must not appear (leaves map to distinct vertices).
+	b := NewBuilder(3)
+	_ = b.AddAttr(0, "c")
+	_ = b.AddAttr(1, "x")
+	_ = b.AddAttr(2, "y")
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 2)
+	g := b.Build()
+	x := ExtendedStar{
+		CoreAttrs: ids(t, g, "c"),
+		LeafAttrs: [][]AttrID{ids(t, g, "x"), ids(t, g, "x")},
+	}
+	if x.AppearsAt(g, 0) {
+		t.Fatal("two leaves matched the same neighbour")
+	}
+	ok := ExtendedStar{
+		CoreAttrs: ids(t, g, "c"),
+		LeafAttrs: [][]AttrID{ids(t, g, "x"), ids(t, g, "y")},
+	}
+	if !ok.AppearsAt(g, 0) {
+		t.Fatal("valid extended star not found")
+	}
+}
+
+func TestExtendedStarMatchingNeedsAugmentingPaths(t *testing.T) {
+	// Leaf patterns {x} and {x,y}; neighbours u1={x}, u2={x,y}. A greedy
+	// matcher that assigns {x}→u2 first must backtrack.
+	b := NewBuilder(3)
+	_ = b.AddAttr(0, "c")
+	_ = b.AddAttr(1, "x")
+	_ = b.AddAttr(2, "x")
+	_ = b.AddAttr(2, "y")
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(0, 2)
+	g := b.Build()
+	x := ExtendedStar{
+		CoreAttrs: ids(t, g, "c"),
+		LeafAttrs: [][]AttrID{ids(t, g, "x", "y"), ids(t, g, "x")},
+	}
+	if !x.AppearsAt(g, 0) {
+		t.Fatal("matcher failed to find the assignment {x,y}->v2, {x}->v1")
+	}
+}
+
+func TestExtendedStarValidate(t *testing.T) {
+	if err := (ExtendedStar{}).Validate(); err == nil {
+		t.Error("leafless star accepted")
+	}
+	bad := ExtendedStar{CoreAttrs: []AttrID{2, 1}, LeafAttrs: [][]AttrID{{0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted core accepted")
+	}
+}
+
+// TestAStarMatchesEqualInvertedDBSemantics checks §IV-A matching: the a-star
+// ({a},{b,c}) matches stars at v1 and v5 of Fig. 1 — the same positions the
+// paper's Fig. 4 merged line records.
+func TestAStarMatchesFig1(t *testing.T) {
+	g := fig1(t)
+	s, err := NewAStarShape(ids(t, g, "a"), ids(t, g, "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Matches(g)
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("Matches = %v, want [v1 v5]", got)
+	}
+}
+
+func TestAStarLeafValuesMayShareNeighbour(t *testing.T) {
+	// Unlike extended stars, a-star matching allows one neighbour to carry
+	// several leaf values.
+	b := NewBuilder(2)
+	_ = b.AddAttr(0, "c")
+	_ = b.AddAttr(1, "x")
+	_ = b.AddAttr(1, "y")
+	_ = b.AddEdge(0, 1)
+	g := b.Build()
+	s, err := NewAStarShape(ids(t, g, "c"), ids(t, g, "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MatchesAt(g, 0) {
+		t.Fatal("a-star should match through a single neighbour")
+	}
+}
+
+func TestNewAStarShapeValidation(t *testing.T) {
+	if _, err := NewAStarShape([]AttrID{1}, nil); err == nil {
+		t.Error("empty leafset accepted")
+	}
+	if _, err := NewAStarShape([]AttrID{1, 1}, []AttrID{2}); err == nil {
+		t.Error("duplicate core accepted")
+	}
+	if _, err := NewAStarShape([]AttrID{1}, []AttrID{2, 2}); err == nil {
+		t.Error("duplicate leaf accepted")
+	}
+	s, err := NewAStarShape([]AttrID{3, 1}, []AttrID{5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Core[0] != 1 || s.Leaf[0] != 2 {
+		t.Error("values not sorted")
+	}
+}
+
+// Property: a-star matching is monotone — removing a leaf value never
+// removes positions.
+func TestAStarMatchMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		b := NewBuilder(15)
+		names := []string{"p", "q", "r", "s"}
+		for v := 0; v < 15; v++ {
+			for _, n := range names {
+				if rng.Float64() < 0.4 {
+					_ = b.AddAttr(VertexID(v), n)
+				}
+			}
+			if v > 0 {
+				_ = b.AddEdge(VertexID(v), VertexID(rng.Intn(v)))
+			}
+		}
+		g := b.Build()
+		p, _ := g.Vocab().Lookup("p")
+		q, _ := g.Vocab().Lookup("q")
+		r, _ := g.Vocab().Lookup("r")
+		big, err := NewAStarShape([]AttrID{p}, []AttrID{q, r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := NewAStarShape([]AttrID{p}, []AttrID{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigSet := map[VertexID]bool{}
+		for _, v := range big.Matches(g) {
+			bigSet[v] = true
+		}
+		smallSet := map[VertexID]bool{}
+		for _, v := range small.Matches(g) {
+			smallSet[v] = true
+		}
+		for v := range bigSet {
+			if !smallSet[v] {
+				t.Fatalf("trial %d: match set not monotone at vertex %d", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,571 @@
+// Package invdb implements CSPM's inverted database representation
+// (paper §IV-B): a table of lines (leafset SL, coreset Sc, positions), plus
+// the mapping table of coreset positions. Mining a-stars reduces to merging
+// pairs of leafsets; this package provides exact evaluation of the
+// description-length gain of a merge (Eq. 9–15 generalised) and its
+// application, maintaining the total DL incrementally.
+package invdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cspm/internal/graph"
+	"cspm/internal/intset"
+	"cspm/internal/mdl"
+)
+
+// CoresetID identifies a coreset. In single-core-value mode (the paper's
+// main setting) CoresetID equals the core AttrID; in multi-value mode
+// coresets are itemsets selected by Krimp/SLIM (paper §IV-F).
+type CoresetID int32
+
+// Line is one row of the inverted database: the a-star (coreset, leafset)
+// together with the set of core-vertex positions it covers. fL = |Pos|.
+type Line struct {
+	Core CoresetID
+	Leaf LeafsetID
+	Pos  intset.Set
+}
+
+// FL returns the line frequency fL.
+func (ln *Line) FL() int { return ln.Pos.Len() }
+
+// DB is the inverted database plus incremental description-length state.
+// It is not safe for concurrent use.
+type DB struct {
+	st *mdl.StandardTable
+
+	coreContent [][]graph.AttrID // coreset → attribute values
+	coreCode    []float64        // Code_c length per coreset (Eq. 5)
+	corePos     []intset.Set     // mapping table: vertices where coreset fires
+	coreFreq    []int            // f_c: Σ fL over the coreset's lines (Eq. 8 note)
+
+	leafsets *LeafsetTable
+	byCore   []map[LeafsetID]*Line             // coreset → leafset → line
+	byLeaf   map[LeafsetID]map[CoresetID]*Line // leafset → coreset → line
+	numLines int
+
+	dataDL  float64 // Eq. 8 over current lines
+	modelDL float64 // leafset spell-out costs + per-line coreset pointers
+	baseDL  float64 // dataDL + modelDL right after construction
+}
+
+// StandardTable returns the ST the DB was built with.
+func (db *DB) StandardTable() *mdl.StandardTable { return db.st }
+
+// Leafsets returns the interning table for leafsets.
+func (db *DB) Leafsets() *LeafsetTable { return db.leafsets }
+
+// NumCoresets reports the number of coresets (including ones without lines).
+func (db *DB) NumCoresets() int { return len(db.coreContent) }
+
+// NumLines reports the current number of inverted-database lines.
+func (db *DB) NumLines() int { return db.numLines }
+
+// NumActiveLeafsets reports leafsets that still own at least one line.
+func (db *DB) NumActiveLeafsets() int { return len(db.byLeaf) }
+
+// CoreValues returns the attribute values of coreset c.
+func (db *DB) CoreValues(c CoresetID) []graph.AttrID { return db.coreContent[c] }
+
+// CoreCodeLen returns L(Code_c) for coreset c.
+func (db *DB) CoreCodeLen(c CoresetID) float64 { return db.coreCode[c] }
+
+// CoreFreq returns f_c for coreset c.
+func (db *DB) CoreFreq(c CoresetID) int { return db.coreFreq[c] }
+
+// CorePositions returns the mapping-table positions of coreset c.
+func (db *DB) CorePositions(c CoresetID) intset.Set { return db.corePos[c] }
+
+// LinesOf returns the live lines of coreset c keyed by leafset. Callers must
+// not modify the map.
+func (db *DB) LinesOf(c CoresetID) map[LeafsetID]*Line { return db.byCore[c] }
+
+// CoresetsOf returns the live lines of leafset ls keyed by coreset, or nil
+// if the leafset owns no lines. Callers must not modify the map.
+func (db *DB) CoresetsOf(ls LeafsetID) map[CoresetID]*Line { return db.byLeaf[ls] }
+
+// ActiveLeafsets returns the ids of all leafsets that currently own lines.
+func (db *DB) ActiveLeafsets() []LeafsetID {
+	out := make([]LeafsetID, 0, len(db.byLeaf))
+	for ls := range db.byLeaf {
+		out = append(out, ls)
+	}
+	return out
+}
+
+// DataDL returns the current L(I|M) per Eq. 8.
+func (db *DB) DataDL() float64 { return db.dataDL }
+
+// ModelDL returns the current L(M) under the reconstruction documented in
+// DESIGN.md (leafset ST spell-out once per active leafset, plus one coreset
+// pointer per line).
+func (db *DB) ModelDL() float64 { return db.modelDL }
+
+// TotalDL returns L(M) + L(I|M).
+func (db *DB) TotalDL() float64 { return db.dataDL + db.modelDL }
+
+// BaselineDL returns the total DL immediately after construction, before any
+// merge; compression ratios are measured against it.
+func (db *DB) BaselineDL() float64 { return db.baseDL }
+
+// FromGraph builds the single-core-value inverted database of g: one coreset
+// per attribute value, one initial line per (core value, leaf value) pair
+// with the core-vertex positions where they are adjacent (paper Fig. 2).
+func FromGraph(g *graph.Graph) *DB {
+	st := mdl.NewStandardTable(g)
+	nA := g.NumAttrValues()
+	content := make([][]graph.AttrID, nA)
+	positions := make([]intset.Set, nA)
+	posBuf := make([][]uint32, nA)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Attrs(graph.VertexID(v)) {
+			posBuf[a] = append(posBuf[a], uint32(v))
+		}
+	}
+	for a := 0; a < nA; a++ {
+		content[a] = []graph.AttrID{graph.AttrID(a)}
+		positions[a] = intset.FromSorted(posBuf[a]) // built in ascending v order
+	}
+	return build(g, st, content, positions)
+}
+
+// FromGraphWithCoresets builds the multi-value-coreset inverted database:
+// coresets[i] fires at positions[i] (typically the Krimp/SLIM cover of the
+// vertex-attribute transaction database, paper §IV-F step 1).
+func FromGraphWithCoresets(g *graph.Graph, coresets [][]graph.AttrID, positions []intset.Set) (*DB, error) {
+	if len(coresets) != len(positions) {
+		return nil, fmt.Errorf("invdb: %d coresets but %d position sets", len(coresets), len(positions))
+	}
+	st := mdl.NewStandardTable(g)
+	return build(g, st, coresets, positions), nil
+}
+
+func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, positions []intset.Set) *DB {
+	db := &DB{
+		st:          st,
+		coreContent: content,
+		coreCode:    make([]float64, len(content)),
+		corePos:     positions,
+		coreFreq:    make([]int, len(content)),
+		leafsets:    NewLeafsetTable(),
+		byCore:      make([]map[LeafsetID]*Line, len(content)),
+		byLeaf:      make(map[LeafsetID]map[CoresetID]*Line),
+	}
+	for c := range content {
+		db.coreCode[c] = st.SetLen(content[c])
+	}
+	// Initial lines: for every coreset position v and every attribute value l
+	// on a neighbour of v, v is a position of line (coreset, {l}).
+	lineBuf := make(map[uint64][]uint32)
+	for c := range content {
+		for _, vv := range db.corePos[c] {
+			v := graph.VertexID(vv)
+			for _, u := range g.Neighbors(v) {
+				for _, l := range g.Attrs(u) {
+					key := uint64(c)<<32 | uint64(uint32(l))
+					buf := lineBuf[key]
+					// Positions arrive in ascending v per key; collapse the
+					// duplicates produced by multiple neighbours carrying l.
+					if len(buf) == 0 || buf[len(buf)-1] != vv {
+						lineBuf[key] = append(buf, vv)
+					}
+				}
+			}
+		}
+	}
+	// Intern leafsets and insert lines in sorted key order: leafset ids are
+	// tie-breakers throughout the miner, so their assignment must be a pure
+	// function of the graph, not of map iteration order.
+	keys := make([]uint64, 0, len(lineBuf))
+	for key := range lineBuf {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		c := CoresetID(key >> 32)
+		l := graph.AttrID(uint32(key))
+		ls := db.leafsets.Single(l)
+		db.insertLine(&Line{Core: c, Leaf: ls, Pos: intset.FromSorted(lineBuf[key])})
+	}
+	db.dataDL, db.modelDL = db.recomputeDL()
+	db.baseDL = db.dataDL + db.modelDL
+	return db
+}
+
+// insertLine registers a line in both indexes and the frequency tally. It
+// does not touch the DL accumulators.
+func (db *DB) insertLine(ln *Line) {
+	if db.byCore[ln.Core] == nil {
+		db.byCore[ln.Core] = make(map[LeafsetID]*Line)
+	}
+	db.byCore[ln.Core][ln.Leaf] = ln
+	m := db.byLeaf[ln.Leaf]
+	if m == nil {
+		m = make(map[CoresetID]*Line)
+		db.byLeaf[ln.Leaf] = m
+	}
+	m[ln.Core] = ln
+	db.coreFreq[ln.Core] += ln.FL()
+	db.numLines++
+}
+
+// removeLine unregisters a line from both indexes. The caller has already
+// accounted its positions in coreFreq.
+func (db *DB) removeLine(ln *Line) {
+	delete(db.byCore[ln.Core], ln.Leaf)
+	m := db.byLeaf[ln.Leaf]
+	delete(m, ln.Core)
+	if len(m) == 0 {
+		delete(db.byLeaf, ln.Leaf)
+	}
+	db.numLines--
+}
+
+// recomputeDL recalculates the data and model description lengths from
+// scratch. Used at construction and by tests to validate the incremental
+// bookkeeping.
+func (db *DB) recomputeDL() (data, model float64) {
+	// Accumulate in sorted order: float sums must be a pure function of the
+	// database content, not of map layout, so baselines are bit-identical
+	// across DB instances built from the same graph.
+	for c, lines := range db.byCore {
+		data += mdl.XLogX(float64(db.coreFreq[c]))
+		ids := make([]LeafsetID, 0, len(lines))
+		for ls := range lines {
+			ids = append(ids, ls)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, ls := range ids {
+			model += db.coreCode[c]
+			data -= mdl.XLogX(float64(lines[ls].FL()))
+		}
+	}
+	leafIDs := make([]LeafsetID, 0, len(db.byLeaf))
+	for ls := range db.byLeaf {
+		leafIDs = append(leafIDs, ls)
+	}
+	sort.Slice(leafIDs, func(i, j int) bool { return leafIDs[i] < leafIDs[j] })
+	for _, ls := range leafIDs {
+		model += db.st.SetLen(db.leafsets.Values(ls))
+	}
+	return data, model
+}
+
+// RecomputeDL exposes the from-scratch DL for verification.
+func (db *DB) RecomputeDL() (data, model float64) { return db.recomputeDL() }
+
+// CondEntropy reports H(Y|X) (Eq. 7) over the current lines, a diagnostic of
+// how tightly leafsets are bound to their coresets.
+func (db *DB) CondEntropy() float64 {
+	pairs := make([][2]int, 0, db.numLines)
+	for c, lines := range db.byCore {
+		for _, ln := range lines {
+			pairs = append(pairs, [2]int{ln.FL(), db.coreFreq[c]})
+		}
+	}
+	return mdl.CondEntropy(pairs)
+}
+
+// MergeEval is the exact outcome of merging leafset pair (X, Y) without
+// applying it. Gain > 0 means the total DL would shrink by Gain bits.
+type MergeEval struct {
+	X, Y LeafsetID
+	// Gain = DataGain + ModelGain; the miner selects on Gain by default and
+	// on DataGain alone under the model-cost ablation.
+	Gain      float64
+	DataGain  float64
+	ModelGain float64
+	// CoOccurs is the number of coresets under which X and Y overlap; zero
+	// means the pair can never compress (paper §V's observation).
+	CoOccurs int
+}
+
+// EvalMerge computes the exact DL gain of merging leafsets x and y. It
+// generalises Eq. 9–15: the three per-coreset merge cases (partly, totally,
+// one-side totally merged) fall out of the same position arithmetic, and the
+// cases where the union collides with an existing leafset (including
+// x ⊆ y or y ⊆ x) are handled by simulating the actual line updates.
+func (db *DB) EvalMerge(x, y LeafsetID) MergeEval {
+	ev := MergeEval{X: x, Y: y}
+	if x == y {
+		return ev
+	}
+	mx := db.byLeaf[x]
+	my := db.byLeaf[y]
+	if len(mx) == 0 || len(my) == 0 {
+		return ev
+	}
+	small := mx
+	if len(my) < len(mx) {
+		small = my
+	}
+	zID, zExists := db.lookupUnion(x, y)
+	zIsX := zExists && zID == x
+	zIsY := zExists && zID == y
+
+	shared := make([]CoresetID, 0, len(small))
+	for e := range small {
+		if _, ok := mx[e]; !ok {
+			continue
+		}
+		if _, ok := my[e]; !ok {
+			continue
+		}
+		shared = append(shared, e)
+	}
+	// Deterministic order keeps float accumulation (and therefore candidate
+	// tie-breaking) reproducible across runs.
+	sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+
+	var dataGain, modelGain float64
+	removedX, removedY, zLinesAdded := 0, 0, 0
+	for _, e := range shared {
+		lnx := mx[e]
+		lny := my[e]
+		xye := lnx.Pos.IntersectCount(lny.Pos)
+		if xye == 0 {
+			continue
+		}
+		ev.CoOccurs++
+		xe, ye := lnx.FL(), lny.FL()
+		fe := float64(db.coreFreq[e])
+
+		var oldTerms, newTerms float64
+		var feAfter float64
+		var removed, added int
+		switch {
+		case zIsY:
+			// x ⊂ y: the union is y itself; only the x-line sheds overlap.
+			oldTerms = mdl.XLogX(float64(xe)) + mdl.XLogX(float64(ye))
+			newTerms = mdl.XLogX(float64(xe-xye)) + mdl.XLogX(float64(ye))
+			feAfter = fe - float64(xye)
+			if xe == xye {
+				removed++
+				removedX++
+			}
+		case zIsX:
+			// y ⊂ x: symmetric.
+			oldTerms = mdl.XLogX(float64(xe)) + mdl.XLogX(float64(ye))
+			newTerms = mdl.XLogX(float64(xe)) + mdl.XLogX(float64(ye-xye))
+			feAfter = fe - float64(xye)
+			if ye == xye {
+				removed++
+				removedY++
+			}
+		default:
+			zeBefore, zeAfter := 0, xye
+			if zExists {
+				if lnz, ok := db.byCore[e][zID]; ok {
+					inter := lnx.Pos.Intersect(lny.Pos)
+					zeBefore = lnz.FL()
+					zeAfter = zeBefore + inter.Diff(lnz.Pos).Len()
+				}
+			}
+			oldTerms = mdl.XLogX(float64(xe)) + mdl.XLogX(float64(ye)) + mdl.XLogX(float64(zeBefore))
+			newTerms = mdl.XLogX(float64(xe-xye)) + mdl.XLogX(float64(ye-xye)) + mdl.XLogX(float64(zeAfter))
+			feAfter = fe - float64(2*xye) + float64(zeAfter-zeBefore)
+			if xe == xye {
+				removed++
+				removedX++
+			}
+			if ye == xye {
+				removed++
+				removedY++
+			}
+			if zeBefore == 0 {
+				added++
+				zLinesAdded++
+			}
+		}
+		dataGain += (mdl.XLogX(fe) - mdl.XLogX(feAfter)) + (newTerms - oldTerms)
+		modelGain += float64(removed-added) * db.coreCode[e]
+	}
+	if ev.CoOccurs == 0 {
+		return ev
+	}
+	// Leafset spell-out costs: credit x/y if they lose their last line,
+	// charge z if it gains its first.
+	if removedX == len(mx) && !zIsX {
+		modelGain += db.st.SetLen(db.leafsets.Values(x))
+	}
+	if removedY == len(my) && !zIsY {
+		modelGain += db.st.SetLen(db.leafsets.Values(y))
+	}
+	if !zIsX && !zIsY && zLinesAdded > 0 {
+		if !zExists || len(db.byLeaf[zID]) == 0 {
+			modelGain -= db.unionSpellLen(x, y)
+		}
+	}
+	ev.DataGain = dataGain
+	ev.ModelGain = modelGain
+	ev.Gain = dataGain + modelGain
+	if math.IsNaN(ev.Gain) {
+		ev.Gain = math.Inf(-1)
+	}
+	return ev
+}
+
+// lookupUnion finds the interned id of content(x) ∪ content(y) without
+// interning it.
+func (db *DB) lookupUnion(x, y LeafsetID) (LeafsetID, bool) {
+	vx, vy := db.leafsets.Values(x), db.leafsets.Values(y)
+	out := make([]graph.AttrID, 0, len(vx)+len(vy))
+	i, j := 0, 0
+	for i < len(vx) && j < len(vy) {
+		switch {
+		case vx[i] < vy[j]:
+			out = append(out, vx[i])
+			i++
+		case vx[i] > vy[j]:
+			out = append(out, vy[j])
+			j++
+		default:
+			out = append(out, vx[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, vx[i:]...)
+	out = append(out, vy[j:]...)
+	id, ok := db.leafsets.byKey[leafsetKey(out)]
+	return id, ok
+}
+
+func (db *DB) unionSpellLen(x, y LeafsetID) float64 {
+	seen := make(map[graph.AttrID]struct{})
+	sum := 0.0
+	for _, a := range db.leafsets.Values(x) {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			sum += db.st.Len(a)
+		}
+	}
+	for _, a := range db.leafsets.Values(y) {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			sum += db.st.Len(a)
+		}
+	}
+	return sum
+}
+
+// MergeResult reports what a committed merge did, feeding CSPM-Partial's
+// rdict update (Algorithm 4).
+type MergeResult struct {
+	X, Y   LeafsetID
+	New    LeafsetID   // the union leafset
+	Gain   float64     // actual DL reduction in bits
+	Total  []LeafsetID // members of {X, Y} whose lines all disappeared
+	Part   []LeafsetID // members of {X, Y} that kept some lines
+	Shared []CoresetID // coresets where the overlap was positive
+}
+
+// ApplyMerge commits the merge of leafsets x and y, updating lines, indexes,
+// frequencies and the DL accumulators. It returns the realised result; if
+// the pair no longer overlaps anywhere, it is a no-op with Gain 0.
+func (db *DB) ApplyMerge(x, y LeafsetID) MergeResult {
+	res := MergeResult{X: x, Y: y}
+	if x == y {
+		return res
+	}
+	mx := db.byLeaf[x]
+	my := db.byLeaf[y]
+	if len(mx) == 0 || len(my) == 0 {
+		return res
+	}
+	// Collect the shared coresets first: we mutate the indexes while merging.
+	var shared []CoresetID
+	if len(mx) <= len(my) {
+		for e := range mx {
+			if _, ok := my[e]; ok {
+				shared = append(shared, e)
+			}
+		}
+	} else {
+		for e := range my {
+			if _, ok := mx[e]; ok {
+				shared = append(shared, e)
+			}
+		}
+	}
+	if len(shared) == 0 {
+		return res
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+
+	dlBeforeData, dlBeforeModel := db.dataDL, db.modelDL
+	z := db.leafsets.Union(x, y)
+	res.New = z
+	zHadLines := len(db.byLeaf[z]) > 0
+
+	for _, e := range shared {
+		lnx := db.byCore[e][x]
+		lny := db.byCore[e][y]
+		inter := lnx.Pos.Intersect(lny.Pos)
+		xye := inter.Len()
+		if xye == 0 {
+			continue
+		}
+		res.Shared = append(res.Shared, e)
+		feBefore := float64(db.coreFreq[e])
+		dataDelta := -mdl.XLogX(feBefore)
+		modelDelta := 0.0
+
+		update := func(ln *Line, newPos intset.Set) {
+			db.coreFreq[e] += newPos.Len() - ln.FL()
+			dataDelta += mdl.XLogX(float64(ln.FL())) - mdl.XLogX(float64(newPos.Len()))
+			ln.Pos = newPos
+			if ln.FL() == 0 {
+				db.removeLine(ln)
+				modelDelta += db.coreCode[e]
+			}
+		}
+
+		switch z {
+		case y: // x ⊂ y: only the x-line sheds the overlap
+			update(lnx, lnx.Pos.Diff(inter))
+		case x: // y ⊂ x
+			update(lny, lny.Pos.Diff(inter))
+		default:
+			update(lnx, lnx.Pos.Diff(inter))
+			update(lny, lny.Pos.Diff(inter))
+			if lnz, ok := db.byCore[e][z]; ok {
+				newPos := lnz.Pos.Union(inter)
+				db.coreFreq[e] += newPos.Len() - lnz.FL()
+				dataDelta += mdl.XLogX(float64(lnz.FL())) - mdl.XLogX(float64(newPos.Len()))
+				lnz.Pos = newPos
+			} else {
+				db.insertLine(&Line{Core: e, Leaf: z, Pos: inter})
+				dataDelta -= mdl.XLogX(float64(xye))
+				modelDelta -= db.coreCode[e]
+			}
+		}
+		dataDelta += mdl.XLogX(float64(db.coreFreq[e]))
+		db.dataDL += dataDelta
+		db.modelDL -= modelDelta // modelDelta accumulated as gain; DL moves opposite
+	}
+	if len(res.Shared) == 0 {
+		return res
+	}
+	// Leafset spell-out adjustments.
+	if len(db.byLeaf[x]) == 0 && z != x {
+		db.modelDL -= db.st.SetLen(db.leafsets.Values(x))
+		res.Total = append(res.Total, x)
+	} else {
+		res.Part = append(res.Part, x)
+	}
+	if len(db.byLeaf[y]) == 0 && z != y {
+		db.modelDL -= db.st.SetLen(db.leafsets.Values(y))
+		res.Total = append(res.Total, y)
+	} else {
+		res.Part = append(res.Part, y)
+	}
+	if !zHadLines && len(db.byLeaf[z]) > 0 && z != x && z != y {
+		db.modelDL += db.st.SetLen(db.leafsets.Values(z))
+	}
+	res.Gain = (dlBeforeData + dlBeforeModel) - (db.dataDL + db.modelDL)
+	return res
+}

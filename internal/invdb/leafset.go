@@ -1,0 +1,82 @@
+package invdb
+
+import (
+	"encoding/binary"
+
+	"cspm/internal/graph"
+)
+
+// LeafsetID identifies an interned leafset (a sorted set of attribute
+// values). Leafsets are global entities: the same leafset may appear in
+// lines under many coresets, and the merge step of CSPM operates on leafset
+// pairs across all their shared coresets at once (paper §IV-E).
+type LeafsetID int32
+
+// LeafsetTable interns sorted attribute-value sets to dense LeafsetIDs.
+type LeafsetTable struct {
+	byKey   map[string]LeafsetID
+	content [][]graph.AttrID
+}
+
+// NewLeafsetTable returns an empty table.
+func NewLeafsetTable() *LeafsetTable {
+	return &LeafsetTable{byKey: make(map[string]LeafsetID)}
+}
+
+func leafsetKey(vals []graph.AttrID) string {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+// Intern returns the id of the sorted value set vals, assigning a fresh id on
+// first sight. vals must be sorted ascending and duplicate-free; the table
+// takes ownership of the slice.
+func (t *LeafsetTable) Intern(vals []graph.AttrID) LeafsetID {
+	key := leafsetKey(vals)
+	if id, ok := t.byKey[key]; ok {
+		return id
+	}
+	id := LeafsetID(len(t.content))
+	t.byKey[key] = id
+	t.content = append(t.content, vals)
+	return id
+}
+
+// Single interns the one-element leafset {a}.
+func (t *LeafsetTable) Single(a graph.AttrID) LeafsetID {
+	return t.Intern([]graph.AttrID{a})
+}
+
+// Values returns the sorted content of leafset id. Callers must not modify
+// the returned slice.
+func (t *LeafsetTable) Values(id LeafsetID) []graph.AttrID { return t.content[id] }
+
+// Size reports the number of distinct leafsets interned so far.
+func (t *LeafsetTable) Size() int { return len(t.content) }
+
+// Union interns the union of two leafsets and returns its id.
+func (t *LeafsetTable) Union(a, b LeafsetID) LeafsetID {
+	va, vb := t.content[a], t.content[b]
+	out := make([]graph.AttrID, 0, len(va)+len(vb))
+	i, j := 0, 0
+	for i < len(va) && j < len(vb) {
+		switch {
+		case va[i] < vb[j]:
+			out = append(out, va[i])
+			i++
+		case va[i] > vb[j]:
+			out = append(out, vb[j])
+			j++
+		default:
+			out = append(out, va[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, va[i:]...)
+	out = append(out, vb[j:]...)
+	return t.Intern(out)
+}

@@ -1,0 +1,77 @@
+package krimp
+
+import (
+	"fmt"
+	"sort"
+
+	"cspm/internal/fim"
+)
+
+// Options configures the Krimp miner. Krimp, unlike CSPM, is not
+// parameter-free: it needs a support threshold for its candidate miner.
+type Options struct {
+	MinSupport    int // absolute support for the Eclat candidate pass
+	MaxLen        int // candidate itemset size cap (0 = unbounded)
+	MaxCandidates int // safety cap on candidates considered (0 = unbounded)
+}
+
+// Result bundles the mined code table with run diagnostics.
+type Result struct {
+	CT         *CodeTable
+	BaselineDL float64
+	FinalDL    float64
+	Accepted   int
+	Considered int
+}
+
+// Mine runs the Krimp algorithm: mine frequent itemsets, order them in the
+// standard candidate order (support desc, length desc, lexicographic), and
+// greedily keep each candidate that improves total compressed size.
+func Mine(db *fim.DB, opts Options) (*Result, error) {
+	if opts.MinSupport < 1 {
+		return nil, fmt.Errorf("krimp: MinSupport must be >= 1, got %d", opts.MinSupport)
+	}
+	maxLen := opts.MaxLen
+	if maxLen == 0 {
+		maxLen = 12
+	}
+	cands, err := fim.Eclat(db, fim.EclatOptions{MinSupport: opts.MinSupport, MaxLen: maxLen})
+	if err != nil {
+		return nil, err
+	}
+	// Keep only proper itemsets; singletons are already in the table.
+	multi := cands[:0]
+	for _, c := range cands {
+		if len(c.Items) >= 2 {
+			multi = append(multi, c)
+		}
+	}
+	sort.SliceStable(multi, func(i, j int) bool {
+		a, b := multi[i], multi[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) > len(b.Items)
+		}
+		return lessItems(a.Items, b.Items)
+	})
+	if opts.MaxCandidates > 0 && len(multi) > opts.MaxCandidates {
+		multi = multi[:opts.MaxCandidates]
+	}
+	ct := NewCodeTable(db)
+	res := &Result{CT: ct, BaselineDL: ct.TotalDL()}
+	best := res.BaselineDL
+	for _, c := range multi {
+		res.Considered++
+		_, rollback := ct.TryItemset(c.Items)
+		if dl := ct.TotalDL(); dl < best {
+			best = dl
+			res.Accepted++
+		} else if rollback != nil {
+			rollback()
+		}
+	}
+	res.FinalDL = best
+	return res, nil
+}

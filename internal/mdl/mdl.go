@@ -1,0 +1,163 @@
+// Package mdl implements the description-length machinery CSPM is built on
+// (paper §III and §IV-C/D): Shannon optimal code lengths, the standard code
+// table ST over attribute values, and conditional-entropy code lengths for
+// inverted-database lines.
+//
+// All code lengths are in bits (logs base 2) and follow the Krimp convention
+// that only lengths matter — no actual codes are materialised. The
+// convention 0·log 0 = 0 is applied throughout.
+package mdl
+
+import (
+	"math"
+
+	"cspm/internal/graph"
+)
+
+// Log2 returns log2(x) with Log2(0) = 0, matching the 0·log 0 = 0 convention
+// used by every entropy formula in the paper.
+func Log2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// XLogX returns x·log2(x) with 0·log 0 = 0. The description length of the
+// inverted database (Eq. 8) is a signed sum of these terms.
+func XLogX(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}
+
+// CodeLen returns the Shannon code length −log2(p) in bits for an event of
+// probability p. Probabilities outside (0, 1] yield +Inf, signalling an
+// unencodable event; callers treat that as "pattern cannot occur".
+func CodeLen(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(p)
+}
+
+// StandardTable is the standard code table ST (paper §III): the optimal
+// per-value encoding of attribute values from their global frequencies in
+// the vertex→attribute mapping, ignoring labels and structure.
+type StandardTable struct {
+	freq  []int // indexed by AttrID
+	total int
+}
+
+// NewStandardTable counts attribute-value occurrences over all vertices of g.
+func NewStandardTable(g *graph.Graph) *StandardTable {
+	st := &StandardTable{freq: make([]int, g.NumAttrValues())}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Attrs(graph.VertexID(v)) {
+			st.freq[a]++
+			st.total++
+		}
+	}
+	return st
+}
+
+// NewStandardTableFromFreqs builds an ST from precomputed frequencies,
+// indexed by AttrID. Used by the transaction-database miners (Krimp/SLIM).
+func NewStandardTableFromFreqs(freq []int) *StandardTable {
+	st := &StandardTable{freq: append([]int(nil), freq...)}
+	for _, f := range freq {
+		st.total += f
+	}
+	return st
+}
+
+// Freq reports the global occurrence count of value a.
+func (st *StandardTable) Freq(a graph.AttrID) int {
+	if int(a) >= len(st.freq) {
+		return 0
+	}
+	return st.freq[a]
+}
+
+// Total reports the total number of attribute occurrences.
+func (st *StandardTable) Total() int { return st.total }
+
+// Len returns L_ST(a) = −log2(freq(a)/total) in bits (Eq. 5 applied to the
+// mapping-table frequencies). Values never seen get +Inf.
+func (st *StandardTable) Len(a graph.AttrID) float64 {
+	if int(a) >= len(st.freq) || st.freq[a] == 0 || st.total == 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(float64(st.freq[a]) / float64(st.total))
+}
+
+// SetLen returns Σ_{a∈set} L_ST(a), the cost of spelling out a value set
+// with standard codes — the model-cost currency for new leafsets (§IV-E).
+func (st *StandardTable) SetLen(set []graph.AttrID) float64 {
+	sum := 0.0
+	for _, a := range set {
+		sum += st.Len(a)
+	}
+	return sum
+}
+
+// BaselineDL is L(D|ST): the cost of the raw mapping encoded with standard
+// codes only, i.e. Σ_a freq(a)·L_ST(a). It is the compression baseline that
+// mined models are measured against.
+func (st *StandardTable) BaselineDL() float64 {
+	sum := 0.0
+	tot := float64(st.total)
+	for _, f := range st.freq {
+		if f > 0 {
+			sum += float64(f) * -math.Log2(float64(f)/tot)
+		}
+	}
+	return sum
+}
+
+// CondCodeLen returns the conditional-entropy code length of an
+// inverted-database line (Eq. 6): L(SL | Sc) = −log2(fL/fc).
+// fL must satisfy 0 < fL ≤ fc; violations return +Inf.
+func CondCodeLen(fL, fc int) float64 {
+	if fL <= 0 || fc <= 0 || fL > fc {
+		return math.Inf(1)
+	}
+	return -math.Log2(float64(fL) / float64(fc))
+}
+
+// DataDL computes L(I|M) from Eq. (8): Σ_j c_j·log c_j − Σ_ij l_ij·log l_ij,
+// where coreFreq holds each coreset's frequency c_j and lineFreqs the fL of
+// every line grouped in any order (grouping is irrelevant to the sum).
+func DataDL(coreFreq []int, lineFreqs []int) float64 {
+	sum := 0.0
+	for _, c := range coreFreq {
+		sum += XLogX(float64(c))
+	}
+	for _, l := range lineFreqs {
+		sum -= XLogX(float64(l))
+	}
+	return sum
+}
+
+// CondEntropy computes H(Y|X) from Eq. (7) given each line's (fL, fc) and
+// the total frequency s = Σ fL. It is the average per-line encoding cost,
+// reported by the miner for diagnostics.
+func CondEntropy(lines [][2]int) float64 {
+	s := 0
+	for _, ln := range lines {
+		s += ln[0]
+	}
+	if s == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, ln := range lines {
+		fL, fc := float64(ln[0]), float64(ln[1])
+		if fL <= 0 || fc <= 0 {
+			continue
+		}
+		h -= (fL / float64(s)) * math.Log2(fL/fc)
+	}
+	return h
+}

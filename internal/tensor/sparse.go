@@ -1,0 +1,91 @@
+package tensor
+
+import "fmt"
+
+// CSR is a compressed-sparse-row matrix used for adjacency propagation. It
+// is constant with respect to differentiation: gradients flow through the
+// dense operand of SpMM only.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NewCSR builds a CSR from per-row (column, value) pairs.
+func NewCSR(rows, cols int, entries [][]SparseEntry) *CSR {
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i, row := range entries {
+		m.RowPtr[i+1] = m.RowPtr[i] + len(row)
+		for _, e := range row {
+			if e.Col < 0 || e.Col >= cols {
+				panic(fmt.Sprintf("tensor: CSR column %d out of range", e.Col))
+			}
+			m.ColIdx = append(m.ColIdx, e.Col)
+			m.Val = append(m.Val, e.Val)
+		}
+	}
+	return m
+}
+
+// SparseEntry is one stored element of a CSR row.
+type SparseEntry struct {
+	Col int
+	Val float64
+}
+
+// MulDense computes s·d for dense d.
+func (s *CSR) MulDense(d *Matrix) *Matrix {
+	if s.Cols != d.Rows {
+		panic(fmt.Sprintf("tensor: SpMM shapes %dx%d · %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := NewMatrix(s.Rows, d.Cols)
+	for i := 0; i < s.Rows; i++ {
+		orow := out.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			v := s.Val[p]
+			drow := d.Row(s.ColIdx[p])
+			for j, dv := range drow {
+				orow[j] += v * dv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns sᵀ as a new CSR.
+func (s *CSR) Transpose() *CSR {
+	counts := make([]int, s.Cols+1)
+	for _, c := range s.ColIdx {
+		counts[c+1]++
+	}
+	out := &CSR{Rows: s.Cols, Cols: s.Rows, RowPtr: make([]int, s.Cols+1)}
+	for i := 0; i < s.Cols; i++ {
+		out.RowPtr[i+1] = out.RowPtr[i] + counts[i+1]
+	}
+	out.ColIdx = make([]int, len(s.ColIdx))
+	out.Val = make([]float64, len(s.Val))
+	next := append([]int(nil), out.RowPtr[:s.Cols]...)
+	for r := 0; r < s.Rows; r++ {
+		for p := s.RowPtr[r]; p < s.RowPtr[r+1]; p++ {
+			c := s.ColIdx[p]
+			out.ColIdx[next[c]] = r
+			out.Val[next[c]] = s.Val[p]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// SpMM multiplies the constant sparse matrix s with dense node d on the
+// tape: out = s·d, with grad_d = sᵀ·grad_out.
+func (t *Tape) SpMM(s *CSR, d *Node) *Node {
+	v := s.MulDense(d.Value)
+	out := t.node(v, d.requiresGrad, nil, d)
+	if out.requiresGrad {
+		out.back = func() {
+			AddInPlace(d.Grad, s.Transpose().MulDense(out.Grad))
+		}
+	}
+	return out
+}

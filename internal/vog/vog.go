@@ -1,0 +1,313 @@
+// Package vog implements a compact VOG-style graph summarizer (Koutra et
+// al., paper [27]) as the topology-only point of comparison in the paper's
+// Table I. VOG describes a graph by a vocabulary of structure types — full
+// and near cliques, stars, chains, full and near bipartite cores — choosing
+// the set of structures that minimises the description length of the
+// adjacency information. It deliberately ignores vertex attributes, which
+// is exactly the capability gap CSPM fills; the capability-matrix test in
+// this package regenerates Table I's first column contrast.
+package vog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cspm/internal/graph"
+)
+
+// StructureType enumerates VOG's vocabulary.
+type StructureType int
+
+// The six structure types of VOG's vocabulary.
+const (
+	FullClique StructureType = iota
+	NearClique
+	Star
+	Chain
+	FullBipartiteCore
+	NearBipartiteCore
+	numTypes
+)
+
+func (t StructureType) String() string {
+	switch t {
+	case FullClique:
+		return "full-clique"
+	case NearClique:
+		return "near-clique"
+	case Star:
+		return "star"
+	case Chain:
+		return "chain"
+	case FullBipartiteCore:
+		return "full-bipartite-core"
+	case NearBipartiteCore:
+		return "near-bipartite-core"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Structure is one summary element: a typed vertex set (with the bipartite
+// split or chain order captured in Vertices' layout) plus its MDL costs.
+type Structure struct {
+	Type     StructureType
+	Vertices []graph.VertexID // star: core first; bipartite: Left then Right
+	Left     int              // size of the left side (bipartite types)
+	Cost     float64          // bits to describe the structure itself
+	ErrCost  float64          // bits for deviations (missing/extra edges)
+	Covered  int              // present edges the structure explains
+	Savings  float64          // baseline bits saved by keeping it
+}
+
+// Summary is the selected model plus bookkeeping.
+type Summary struct {
+	Structures []Structure
+	BaselineDL float64 // all edges spelled out
+	FinalDL    float64 // structures + leftover edges
+}
+
+// CompressionRatio is FinalDL/BaselineDL (≤ 1 when summarisation helps).
+func (s Summary) CompressionRatio() float64 {
+	if s.BaselineDL == 0 {
+		return 1
+	}
+	return s.FinalDL / s.BaselineDL
+}
+
+// Summarize runs the VOG pipeline: generate candidate subgraphs (egonets of
+// high-degree vertices), fit the best vocabulary type to each, and greedily
+// keep candidates while they shrink the description length.
+func Summarize(g *graph.Graph, maxStructures int) Summary {
+	n := g.NumVertices()
+	edgeBits := 2 * log2(float64(n)) // one edge spelled as a vertex-id pair
+	baseline := float64(g.NumEdges()) * edgeBits
+	sum := Summary{BaselineDL: baseline, FinalDL: baseline}
+	if n == 0 || g.NumEdges() == 0 {
+		return sum
+	}
+	// Candidates: egonets in decreasing hub order (SlashBurn's intuition:
+	// hubs anchor the structures worth naming).
+	order := make([]graph.VertexID, n)
+	for v := range order {
+		order[v] = graph.VertexID(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	covered := make(map[[2]graph.VertexID]bool)
+	coverEdge := func(u, v graph.VertexID) [2]graph.VertexID {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]graph.VertexID{u, v}
+	}
+	for _, hub := range order {
+		if maxStructures > 0 && len(sum.Structures) >= maxStructures {
+			break
+		}
+		if g.Degree(hub) < 2 {
+			break // remaining vertices anchor nothing worth naming
+		}
+		members := append([]graph.VertexID{hub}, g.Neighbors(hub)...)
+		best, ok := bestStructure(g, members, edgeBits, covered, coverEdge)
+		if !ok || best.Savings <= 0 {
+			continue
+		}
+		for _, e := range structureEdges(best) {
+			if g.HasEdge(e[0], e[1]) {
+				covered[coverEdge(e[0], e[1])] = true
+			}
+		}
+		sum.FinalDL -= best.Savings
+		sum.Structures = append(sum.Structures, best)
+	}
+	sort.SliceStable(sum.Structures, func(i, j int) bool {
+		return sum.Structures[i].Savings > sum.Structures[j].Savings
+	})
+	return sum
+}
+
+// bestStructure fits every vocabulary type to the member set and returns
+// the one with the largest savings against the per-edge baseline.
+func bestStructure(g *graph.Graph, members []graph.VertexID, edgeBits float64,
+	covered map[[2]graph.VertexID]bool, key func(u, v graph.VertexID) [2]graph.VertexID) (Structure, bool) {
+
+	n := float64(g.NumVertices())
+	idBits := log2(n)
+	typeBits := log2(float64(numTypes))
+	var best Structure
+	found := false
+	consider := func(s Structure) {
+		// Savings: the present, not-yet-covered edges the structure explains
+		// would otherwise cost edgeBits each.
+		newCovered := 0
+		missing := 0
+		for _, e := range structureEdges(s) {
+			if g.HasEdge(e[0], e[1]) {
+				if !covered[key(e[0], e[1])] {
+					newCovered++
+				}
+			} else {
+				missing++
+			}
+		}
+		s.Covered = newCovered
+		s.Cost = typeBits + float64(len(s.Vertices)+1)*idBits // ids + length header
+		s.ErrCost = float64(missing) * edgeBits               // spell out deviations
+		s.Savings = float64(newCovered)*edgeBits - s.Cost - s.ErrCost
+		if !found || s.Savings > best.Savings {
+			best = s
+			found = true
+		}
+	}
+
+	core := members[0]
+	leaves := members[1:]
+	consider(Structure{Type: Star, Vertices: append([]graph.VertexID{core}, leaves...)})
+
+	if len(members) >= 3 {
+		// Clique over the egonet; near-clique is the same vertex set where
+		// missing edges are tolerated (the error cost handles both, so the
+		// label reflects how complete it is).
+		clique := Structure{Type: FullClique, Vertices: append([]graph.VertexID(nil), members...)}
+		present := 0
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if g.HasEdge(members[i], members[j]) {
+					present++
+				}
+			}
+		}
+		possible := len(members) * (len(members) - 1) / 2
+		if present < possible {
+			clique.Type = NearClique
+		}
+		consider(clique)
+
+		// Chain: a greedy path from the core. Unlike the other types the
+		// chain may extend beyond the egonet — a path only pays off once it
+		// is at least four vertices long (L−1 edges saved vs L+1 ids paid).
+		limit := g.NumVertices()
+		if limit > 256 {
+			limit = 256
+		}
+		if path := longestPath(g, core, limit); len(path) >= 4 {
+			consider(Structure{Type: Chain, Vertices: path})
+		}
+
+		// Bipartite core: the left side is the core plus any outside vertex
+		// adjacent to most of the core's leaves (co-hubs). A star is the
+		// 1×k degenerate case; a richer left side emerges when several hubs
+		// share the same leaf set.
+		inLeaves := make(map[graph.VertexID]bool, len(leaves))
+		for _, r := range leaves {
+			inLeaves[r] = true
+		}
+		coHub := make(map[graph.VertexID]int)
+		for _, r := range leaves {
+			for _, w := range g.Neighbors(r) {
+				if w != core && !inLeaves[w] {
+					coHub[w]++
+				}
+			}
+		}
+		left := []graph.VertexID{core}
+		for w, cnt := range coHub {
+			if 5*cnt >= 4*len(leaves) { // adjacent to ≥80% of the leaves
+				left = append(left, w)
+			}
+		}
+		sort.Slice(left, func(i, j int) bool { return left[i] < left[j] })
+		if len(left) >= 2 && len(leaves) >= 2 {
+			bip := Structure{
+				Type:     FullBipartiteCore,
+				Vertices: append(append([]graph.VertexID(nil), left...), leaves...),
+				Left:     len(left),
+			}
+			full := true
+			for _, l := range left {
+				for _, r := range leaves {
+					if !g.HasEdge(l, r) {
+						full = false
+					}
+				}
+			}
+			if !full {
+				bip.Type = NearBipartiteCore
+			}
+			consider(bip)
+		}
+	}
+	return best, found
+}
+
+// structureEdges enumerates the edges a structure claims to explain.
+func structureEdges(s Structure) [][2]graph.VertexID {
+	var out [][2]graph.VertexID
+	switch s.Type {
+	case Star:
+		core := s.Vertices[0]
+		for _, leaf := range s.Vertices[1:] {
+			out = append(out, [2]graph.VertexID{core, leaf})
+		}
+	case FullClique, NearClique:
+		for i := 0; i < len(s.Vertices); i++ {
+			for j := i + 1; j < len(s.Vertices); j++ {
+				out = append(out, [2]graph.VertexID{s.Vertices[i], s.Vertices[j]})
+			}
+		}
+	case Chain:
+		for i := 1; i < len(s.Vertices); i++ {
+			out = append(out, [2]graph.VertexID{s.Vertices[i-1], s.Vertices[i]})
+		}
+	case FullBipartiteCore, NearBipartiteCore:
+		for _, l := range s.Vertices[:s.Left] {
+			for _, r := range s.Vertices[s.Left:] {
+				out = append(out, [2]graph.VertexID{l, r})
+			}
+		}
+	}
+	return out
+}
+
+// longestPath greedily extends a path from start (bounded DFS; chains in
+// real graphs are short, so greedy degree-1-first extension suffices).
+func longestPath(g *graph.Graph, start graph.VertexID, limit int) []graph.VertexID {
+	path := []graph.VertexID{start}
+	seen := map[graph.VertexID]bool{start: true}
+	cur := start
+	for len(path) < limit {
+		var next graph.VertexID
+		found := false
+		bestDeg := math.MaxInt
+		for _, u := range g.Neighbors(cur) {
+			if seen[u] {
+				continue
+			}
+			if d := g.Degree(u); d < bestDeg {
+				bestDeg = d
+				next = u
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		path = append(path, next)
+		seen[next] = true
+		cur = next
+	}
+	return path
+}
+
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 1
+	}
+	return math.Log2(x)
+}

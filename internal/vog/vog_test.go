@@ -1,0 +1,202 @@
+package vog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cspm/internal/cspm"
+	"cspm/internal/graph"
+)
+
+func starGraph(t *testing.T, leaves int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(leaves + 1)
+	for l := 1; l <= leaves; l++ {
+		_ = b.AddAttr(graph.VertexID(l), "leaf")
+		if err := b.AddEdge(0, graph.VertexID(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = b.AddAttr(0, "hub")
+	return b.Build()
+}
+
+func cliqueGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		_ = b.AddAttr(graph.VertexID(i), "m")
+		for j := i + 1; j < n; j++ {
+			if err := b.AddEdge(graph.VertexID(i), graph.VertexID(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func chainGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddAttr(graph.VertexID(i), "c")
+		if err := b.AddEdge(graph.VertexID(i-1), graph.VertexID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = b.AddAttr(0, "c")
+	return b.Build()
+}
+
+func TestSummarizeStar(t *testing.T) {
+	g := starGraph(t, 20)
+	s := Summarize(g, 0)
+	if len(s.Structures) == 0 {
+		t.Fatal("no structures found")
+	}
+	if s.Structures[0].Type != Star {
+		t.Fatalf("top structure = %v, want star", s.Structures[0].Type)
+	}
+	if s.Structures[0].Vertices[0] != 0 {
+		t.Fatal("star core should be the hub")
+	}
+	if s.FinalDL >= s.BaselineDL {
+		t.Fatalf("summary did not compress: %v >= %v", s.FinalDL, s.BaselineDL)
+	}
+}
+
+func TestSummarizeClique(t *testing.T) {
+	g := cliqueGraph(t, 10)
+	s := Summarize(g, 0)
+	if len(s.Structures) == 0 {
+		t.Fatal("no structures found")
+	}
+	if got := s.Structures[0].Type; got != FullClique {
+		t.Fatalf("top structure = %v, want full-clique", got)
+	}
+	if s.CompressionRatio() >= 1 {
+		t.Fatal("clique should compress massively")
+	}
+}
+
+func TestSummarizeChain(t *testing.T) {
+	g := chainGraph(t, 30)
+	s := Summarize(g, 0)
+	foundChain := false
+	for _, st := range s.Structures {
+		if st.Type == Chain && len(st.Vertices) >= 3 {
+			foundChain = true
+		}
+	}
+	if !foundChain {
+		types := []string{}
+		for _, st := range s.Structures {
+			types = append(types, st.Type.String())
+		}
+		t.Fatalf("no chain found; got %s", strings.Join(types, ","))
+	}
+}
+
+func TestSummarizeBipartite(t *testing.T) {
+	// K_{3,6}: three hubs all connected to six leaves.
+	b := graph.NewBuilder(9)
+	for l := 0; l < 3; l++ {
+		_ = b.AddAttr(graph.VertexID(l), "hub")
+		for r := 3; r < 9; r++ {
+			_ = b.AddEdge(graph.VertexID(l), graph.VertexID(r))
+		}
+	}
+	for r := 3; r < 9; r++ {
+		_ = b.AddAttr(graph.VertexID(r), "leaf")
+	}
+	g := b.Build()
+	s := Summarize(g, 0)
+	if len(s.Structures) == 0 {
+		t.Fatal("no structures")
+	}
+	if got := s.Structures[0].Type; got != FullBipartiteCore {
+		t.Fatalf("top structure = %v, want full-bipartite-core", got)
+	}
+	if s.Structures[0].Left != 3 {
+		t.Fatalf("left side = %d, want 3", s.Structures[0].Left)
+	}
+}
+
+func TestSummarizeEmptyAndEdgeless(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if s := Summarize(empty, 0); len(s.Structures) != 0 || s.FinalDL != 0 {
+		t.Fatal("empty graph should summarise to nothing")
+	}
+	b := graph.NewBuilder(3)
+	_ = b.AddAttr(0, "x")
+	if s := Summarize(b.Build(), 0); len(s.Structures) != 0 {
+		t.Fatal("edgeless graph should have no structures")
+	}
+}
+
+func TestSummarizeMaxStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := graph.NewBuilder(60)
+	for v := 1; v < 60; v++ {
+		_ = b.AddAttr(graph.VertexID(v), "x")
+		_ = b.AddEdge(graph.VertexID(v), graph.VertexID(rng.Intn(v)))
+	}
+	_ = b.AddAttr(0, "x")
+	g := b.Build()
+	full := Summarize(g, 0)
+	if len(full.Structures) < 2 {
+		t.Skip("graph too simple to test the cap")
+	}
+	capped := Summarize(g, 1)
+	if len(capped.Structures) > 1 {
+		t.Fatalf("cap ignored: %d structures", len(capped.Structures))
+	}
+}
+
+func TestStructureTypeStrings(t *testing.T) {
+	for ty := FullClique; ty < numTypes; ty++ {
+		if s := ty.String(); s == "" || strings.HasPrefix(s, "type(") {
+			t.Fatalf("missing name for type %d", int(ty))
+		}
+	}
+	if !strings.HasPrefix(StructureType(99).String(), "type(") {
+		t.Fatal("unknown type should render as type(N)")
+	}
+}
+
+// TestTable1Contrast regenerates the paper's Table I distinction: on a graph
+// whose only signal is attribute correlation (uniform topology), VOG's
+// structures say nothing about attributes while CSPM finds the rule.
+func TestTable1Contrast(t *testing.T) {
+	// A long cycle where even vertices carry "x" and their neighbours "y":
+	// topologically boring, attribute-wise perfectly correlated.
+	const n = 60
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if v%2 == 0 {
+			_ = b.AddAttr(graph.VertexID(v), "x")
+		} else {
+			_ = b.AddAttr(graph.VertexID(v), "y")
+		}
+		_ = b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%n))
+	}
+	g := b.Build()
+
+	model := cspm.Mine(g)
+	foundRule := false
+	for _, p := range model.Patterns {
+		if p.Format(g.Vocab()) == "({x}, {y})" && p.Confidence() == 1 {
+			foundRule = true
+		}
+	}
+	if !foundRule {
+		t.Fatal("CSPM missed the attribute rule ({x},{y})")
+	}
+	// VOG, by design, never mentions attributes — its output is purely
+	// structural. (This is Table I's "Attribute patterns?" row.)
+	s := Summarize(g, 0)
+	for _, st := range s.Structures {
+		_ = st.Type // structures carry no attribute information at all
+	}
+}
