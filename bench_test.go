@@ -10,6 +10,7 @@
 package cspm_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"cspm"
@@ -18,6 +19,8 @@ import (
 	"cspm/internal/dataset"
 	"cspm/internal/experiments"
 	"cspm/internal/gnn"
+	"cspm/internal/intset"
+	"cspm/internal/invdb"
 	"cspm/internal/slim"
 )
 
@@ -271,4 +274,80 @@ func BenchmarkMicro_MultiCoreDBLP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Serial-evaluation variant of the Table III Partial cell: the delta against
+// BenchmarkTable3_CSPMPartial_DBLP (Workers 0 → one evaluator per core)
+// isolates what parallel gain evaluation buys on this hardware.
+func BenchmarkTable3_CSPMPartial_DBLP_Serial(b *testing.B) {
+	g := table3Graph(b, experiments.DBLPName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Partial, Workers: 1})
+	}
+}
+
+// BenchmarkMicro_EvalMergeSweep_DBLP measures raw merge-gain evaluation: one
+// op evaluates every co-occurring leafset pair of the freshly built DBLP
+// inverted database. This is the allocation-free hot path of DESIGN.md; the
+// allocs/op column is the regression alarm (want 0).
+func BenchmarkMicro_EvalMergeSweep_DBLP(b *testing.B) {
+	g := dataset.DBLP(1)
+	db := invdb.FromGraph(g)
+	type pair struct{ x, y invdb.LeafsetID }
+	seen := make(map[pair]struct{})
+	var pairs []pair
+	for c := 0; c < db.NumCoresets(); c++ {
+		ids := db.LeafsetIDsOf(invdb.CoresetID(c))
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				p := pair{ids[i], ids[j]}
+				if _, ok := seen[p]; !ok {
+					seen[p] = struct{}{}
+					pairs = append(pairs, p)
+				}
+			}
+		}
+	}
+	for _, p := range pairs { // warm the DB-owned scratch arena
+		db.EvalMerge(p.x, p.y)
+	}
+	b.ReportMetric(float64(len(pairs)), "pairs/op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			db.EvalMerge(p.x, p.y)
+		}
+	}
+}
+
+// BenchmarkMicro_IntersectCountAndDiffCount measures the fused kernel on a
+// skewed (galloping) and a balanced (linear-merge) operand pair.
+func BenchmarkMicro_IntersectCountAndDiffCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n, max int) intset.Set {
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(rng.Intn(max))
+		}
+		return intset.New(vals...)
+	}
+	small := mk(200, 1<<20)
+	big := mk(40000, 1<<20)
+	mid1 := mk(8000, 1<<20)
+	mid2 := mk(9000, 1<<20)
+	z := mk(4000, 1<<20)
+	b.Run("gallop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			intset.IntersectCountAndDiffCount(small, big, z)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			intset.IntersectCountAndDiffCount(mid1, mid2, z)
+		}
+	})
 }

@@ -1,0 +1,151 @@
+// Command bench runs the repository's paper-artifact and micro benchmarks
+// with -benchmem and appends a machine-readable run to a BENCH_<n>.json
+// trajectory file (see DESIGN.md's experiment index). Each invocation adds
+// one run object, so successive entries track the performance trajectory
+// across PRs:
+//
+//	go run ./cmd/bench -label post-change            # Table III + micros → BENCH_1.json
+//	go run ./cmd/bench -bench 'Table3' -benchtime 5x
+//
+// The file holds a JSON array of runs; each run carries the environment,
+// the label, and ns/op, B/op, allocs/op plus custom metrics per benchmark.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one bench invocation appended to the trajectory file.
+type Run struct {
+	Label     string   `json:"label"`
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches `BenchmarkName-8  \t 3 \t 123 ns/op \t 4 B/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	bench := flag.String("bench", "Table3|Micro", "go test -bench pattern")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	out := flag.String("out", "BENCH_1.json", "trajectory file to append the run to")
+	label := flag.String("label", "", "run label recorded in the JSON (default: timestamp)")
+	count := flag.Int("count", 1, "go test -count value")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$",
+		"-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), "."}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	os.Stdout.Write(raw)
+
+	run := Run{
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Bench:     *bench,
+		BenchTime: *benchtime,
+	}
+	if run.Label == "" {
+		run.Label = run.Date
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "pkg:"):
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		res := Result{Name: m[1], Iterations: iters}
+		for _, field := range strings.Split(m[3], "\t") {
+			parts := strings.Fields(strings.TrimSpace(field))
+			if len(parts) != 2 {
+				continue
+			}
+			val, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				continue
+			}
+			switch parts[1] {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[parts[1]] = val
+			}
+		}
+		run.Results = append(run.Results, res)
+	}
+	if len(run.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	if ver, err := exec.Command("go", "version").Output(); err == nil {
+		run.GoVersion = strings.TrimSpace(string(ver))
+	}
+
+	var runs []Run
+	if prev, err := os.ReadFile(*out); err == nil && len(bytes.TrimSpace(prev)) > 0 {
+		if err := json.Unmarshal(prev, &runs); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s exists but is not a run array: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	runs = append(runs, run)
+	enc, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: appended %d results to %s (run %q)\n", len(run.Results), *out, run.Label)
+}

@@ -1,0 +1,3 @@
+module cspm
+
+go 1.24

@@ -2,9 +2,11 @@ package cspm
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
 
+	"cspm/internal/epoch"
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
 )
@@ -30,9 +32,10 @@ func (v Variant) String() string {
 }
 
 // Options configures a mining run. CSPM is parameter-free: the zero value
-// (Partial variant, single-value coresets, no iteration cap) reproduces the
-// paper's default behaviour, and the remaining knobs exist for experiments
-// and safety rails, not for result tuning.
+// (Partial variant, single-value coresets, no iteration cap, gain evaluation
+// across all cores) reproduces the paper's default behaviour, and the
+// remaining knobs exist for experiments and safety rails, not for result
+// tuning.
 type Options struct {
 	Variant Variant
 	// MaxIterations caps merge iterations (0 = unlimited). Used only by
@@ -47,10 +50,31 @@ type Options struct {
 	DisableModelCost bool
 	// Workers parallelises gain evaluation across goroutines (the paper's
 	// future-work item 3, at shared-memory scale). Candidate gains are pure
-	// reads of the inverted database, so evaluation is embarrassingly
-	// parallel; merges stay sequential. 0 or 1 means serial; results are
-	// identical either way.
+	// reads of the inverted database — each worker owns an EvalScratch
+	// arena — so evaluation is embarrassingly parallel; merges stay
+	// sequential. 0 (the default) uses all cores; 1 forces serial
+	// evaluation; negative values are rejected by Validate. Results are
+	// bit-identical regardless of the worker count.
 	Workers int
+}
+
+// Validate sanity-checks options.
+func (o Options) Validate() error {
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("cspm: MaxIterations must be >= 0, got %d", o.MaxIterations)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("cspm: Workers must be >= 0, got %d", o.Workers)
+	}
+	return nil
+}
+
+// workerCount resolves Options.Workers: 0 means one evaluator per core.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Mine runs CSPM on an attributed graph with single-value coresets and
@@ -59,16 +83,23 @@ func Mine(g *graph.Graph) *Model {
 	return MineWithOptions(g, Options{CollectStats: true})
 }
 
-// MineWithOptions runs CSPM on g with explicit options.
+// MineWithOptions runs CSPM on g with explicit options. It panics if opts
+// fails Validate.
 func MineWithOptions(g *graph.Graph, opts Options) *Model {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	db := invdb.FromGraph(g)
 	return MineDB(db, g.Vocab(), opts)
 }
 
 // MineDB runs the merge search on a prepared inverted database. The caller
 // supplies the vocabulary used for rendering patterns (nil is allowed when
-// patterns are consumed as AttrIDs only).
+// patterns are consumed as AttrIDs only). It panics if opts fails Validate.
 func MineDB(db *invdb.DB, vocab *graph.Vocab, opts Options) *Model {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	var st *runStats
 	if opts.CollectStats {
 		st = &runStats{}
@@ -117,9 +148,13 @@ func (st *runStats) record(db *invdb.DB, updates, possible int, gain float64) {
 	})
 }
 
-// evalGain evaluates a pair's gain honouring the ablation switch.
+// evalGain evaluates a pair's gain honouring the ablation switch, using the
+// DB-owned scratch (serial paths only).
 func evalGain(db *invdb.DB, opts Options, x, y invdb.LeafsetID) float64 {
-	ev := db.EvalMerge(x, y)
+	return gainOf(db.EvalMerge(x, y), opts)
+}
+
+func gainOf(ev invdb.MergeEval, opts Options) float64 {
 	if ev.CoOccurs == 0 {
 		return 0
 	}
@@ -129,76 +164,99 @@ func evalGain(db *invdb.DB, opts Options, x, y invdb.LeafsetID) float64 {
 	return ev.Gain
 }
 
+// pairEnum holds the reusable state of co-occurring pair enumeration: an
+// epoch-stamped visited set keyed by LeafsetID replaces the per-call hash
+// set of every co-occurring pair, so enumeration allocates nothing in
+// steady state. A pairEnum belongs to one search; it is not safe for
+// concurrent use.
+type pairEnum struct {
+	seen   epoch.Set
+	buf    []invdb.LeafsetID
+	active []invdb.LeafsetID
+}
+
 // forEachCoOccurringPair invokes fn once per unordered pair of leafsets that
 // share at least one coreset — the only pairs that can ever have positive
-// gain (paper §V). Iteration order is deterministic.
-func forEachCoOccurringPair(db *invdb.DB, fn func(x, y invdb.LeafsetID)) {
-	seen := make(map[uint64]struct{})
-	for c := 0; c < db.NumCoresets(); c++ {
-		lines := db.LinesOf(invdb.CoresetID(c))
-		if len(lines) < 2 {
-			continue
-		}
-		ids := make([]invdb.LeafsetID, 0, len(lines))
-		for ls := range lines {
-			ids = append(ids, ls)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				k := pairKey(ids[i], ids[j])
-				if _, ok := seen[k]; ok {
-					continue
-				}
-				seen[k] = struct{}{}
-				fn(ids[i], ids[j])
-			}
+// gain (paper §V). Pairs are emitted in canonical ascending (x, y) order
+// with x < y, so enumeration order is a pure function of the database.
+func (pe *pairEnum) forEachCoOccurringPair(db *invdb.DB, fn func(x, y invdb.LeafsetID)) {
+	pe.active = db.AppendActiveLeafsets(pe.active)
+	active := pe.active
+	slices.Sort(active)
+	pe.seen.Grow(db.Leafsets().Size())
+	for _, x := range active {
+		partners := pe.partnersOf(db, x, func(y invdb.LeafsetID) bool { return y > x })
+		for _, y := range partners {
+			fn(x, y)
 		}
 	}
 }
 
-// coOccurring returns, in deterministic order, the leafsets sharing at
-// least one coreset with ls.
-func coOccurring(db *invdb.DB, ls invdb.LeafsetID) []invdb.LeafsetID {
-	seen := make(map[invdb.LeafsetID]struct{})
-	var out []invdb.LeafsetID
-	for e := range db.CoresetsOf(ls) {
-		for other := range db.LinesOf(e) {
-			if other == ls {
+// coOccurring returns, in ascending order, the leafsets sharing at least
+// one coreset with ls. The returned slice is scratch owned by pe: callers
+// must consume it before the next pairEnum call.
+func (pe *pairEnum) coOccurring(db *invdb.DB, ls invdb.LeafsetID) []invdb.LeafsetID {
+	pe.seen.Grow(db.Leafsets().Size())
+	return pe.partnersOf(db, ls, func(y invdb.LeafsetID) bool { return y != ls })
+}
+
+// partnersOf collects into pe.buf the distinct leafsets that share a coreset
+// with ls and satisfy keep, sorted ascending.
+func (pe *pairEnum) partnersOf(db *invdb.DB, ls invdb.LeafsetID, keep func(invdb.LeafsetID) bool) []invdb.LeafsetID {
+	pe.seen.Bump()
+	out := pe.buf[:0]
+	for _, e := range db.CoresetIDsOf(ls) {
+		for _, y := range db.LeafsetIDsOf(e) {
+			if !keep(y) || !pe.seen.Mark(int(y)) {
 				continue
 			}
-			if _, ok := seen[other]; !ok {
-				seen[other] = struct{}{}
-				out = append(out, other)
-			}
+			out = append(out, y)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	pe.buf = out
 	return out
 }
 
-// collectCoOccurringPairs materialises the co-occurring pairs in the
-// deterministic enumeration order.
-func collectCoOccurringPairs(db *invdb.DB) []uint64 {
-	var out []uint64
-	forEachCoOccurringPair(db, func(x, y invdb.LeafsetID) {
-		out = append(out, pairKey(x, y))
-	})
-	return out
+// parallelMinBatch is the pair count below which evalPairs stays serial:
+// tiny refresh batches are cheaper on one goroutine than across a pool.
+const parallelMinBatch = 256
+
+// evalState bundles the reusable gain-evaluation buffers of one search: the
+// pair enumerator, the batch and gain slices, and one persistent EvalScratch
+// arena per worker, so repeated batches allocate nothing once warmed up.
+type evalState struct {
+	pe        pairEnum
+	batch     []uint64
+	gains     []float64
+	scratches []*invdb.EvalScratch
 }
 
-// evalPairs computes gains for all pairs, optionally across workers. The
-// returned slice is index-aligned with pairs, so parallelism cannot change
-// any downstream decision.
-func evalPairs(db *invdb.DB, opts Options, pairs []uint64) []float64 {
-	gains := make([]float64, len(pairs))
-	workers := opts.Workers
-	if workers <= 1 || len(pairs) < 256 {
+// evalPairs computes gains for all pairs into es.gains (reusing its
+// capacity), optionally across workers. The result is index-aligned with
+// pairs and every gain is a pure function of (db, pair), so parallelism
+// cannot change any downstream decision.
+func (es *evalState) evalPairs(db *invdb.DB, opts Options, pairs []uint64) []float64 {
+	gains := es.gains
+	if cap(gains) < len(pairs) {
+		gains = make([]float64, len(pairs))
+	} else {
+		gains = gains[:len(pairs)]
+	}
+	es.gains = gains
+	workers := opts.workerCount()
+	if workers > len(pairs)/parallelMinBatch+1 {
+		workers = len(pairs)/parallelMinBatch + 1
+	}
+	if workers <= 1 {
 		for i, k := range pairs {
 			x, y := unpackPair(k)
 			gains[i] = evalGain(db, opts, x, y)
 		}
 		return gains
+	}
+	for len(es.scratches) < workers {
+		es.scratches = append(es.scratches, invdb.NewEvalScratch())
 	}
 	var wg sync.WaitGroup
 	chunk := (len(pairs) + workers - 1) / workers
@@ -207,44 +265,47 @@ func evalPairs(db *invdb.DB, opts Options, pairs []uint64) []float64 {
 		if lo >= len(pairs) {
 			break
 		}
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
+		hi := min(lo+chunk, len(pairs))
 		wg.Add(1)
-		go func(lo, hi int) {
+		// Worker-owned persistent arena; the DB is a pure read here.
+		go func(lo, hi int, sc *invdb.EvalScratch) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				x, y := unpackPair(pairs[i])
-				gains[i] = evalGain(db, opts, x, y)
+				gains[i] = gainOf(db.EvalMergeScratch(x, y, sc), opts)
 			}
-		}(lo, hi)
+		}(lo, hi, es.scratches[w])
 	}
 	wg.Wait()
 	return gains
 }
 
 // mineBasic is Algorithm 1: regenerate all candidates each iteration, merge
-// the best pair, repeat until nothing compresses.
+// the best pair, repeat until nothing compresses. Ties on gain resolve to
+// the pair earliest in canonical enumeration order (smallest packed key).
 func mineBasic(db *invdb.DB, opts Options, st *runStats) {
+	es := &evalState{}
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
 		n := db.NumActiveLeafsets()
 		possible := n * (n - 1) / 2
-		pairs := collectCoOccurringPairs(db)
-		gains := evalPairs(db, opts, pairs)
+		es.batch = es.batch[:0]
+		es.pe.forEachCoOccurringPair(db, func(x, y invdb.LeafsetID) {
+			es.batch = append(es.batch, pairKey(x, y))
+		})
+		gains := es.evalPairs(db, opts, es.batch)
 		var bestX, bestY invdb.LeafsetID
 		bestGain := 0.0
 		for i, g := range gains {
 			if g > bestGain {
 				bestGain = g
-				bestX, bestY = unpackPair(pairs[i])
+				bestX, bestY = unpackPair(es.batch[i])
 			}
 		}
 		if bestGain <= 0 {
 			return
 		}
 		res := db.ApplyMerge(bestX, bestY)
-		st.record(db, len(pairs), possible, res.Gain)
+		st.record(db, len(es.batch), possible, res.Gain)
 	}
 }
 
@@ -297,32 +358,109 @@ func (r rdict) related(x invdb.LeafsetID) []invdb.LeafsetID {
 	for rel := range m {
 		out = append(out, rel)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
+}
+
+// searchState bundles the candidate heap, related-leafset dictionary and
+// reusable evaluation buffers shared by minePartial and the Stepper.
+type searchState struct {
+	cands *candidateSet
+	rd    rdict
+	evalState
+}
+
+func newSearchState() *searchState {
+	return &searchState{cands: newCandidateSet(), rd: make(rdict)}
+}
+
+// seed evaluates every co-occurring pair (in parallel for large databases)
+// and enqueues the positive-gain ones (Algorithm 3 line 2).
+func (s *searchState) seed(db *invdb.DB, opts Options) {
+	s.batch = s.batch[:0]
+	s.pe.forEachCoOccurringPair(db, func(x, y invdb.LeafsetID) {
+		s.batch = append(s.batch, pairKey(x, y))
+	})
+	gains := s.evalPairs(db, opts, s.batch)
+	for i, k := range s.batch {
+		if g := gains[i]; g > 0 {
+			x, y := unpackPair(k)
+			s.cands.Set(x, y, g)
+			s.rd.add(x, y)
+		}
+	}
+}
+
+// refresh applies Algorithm 4's candidate updates after a committed merge,
+// batching the step-2 and step-3 gain evaluations through the worker pool.
+// note, when non-nil, observes every evaluated pair key (Fig. 5 stats).
+func (s *searchState) refresh(db *invdb.DB, opts Options, res invdb.MergeResult, note func(uint64)) {
+	// (1) Remove totally merged leafsets and their candidates.
+	for _, t := range res.Total {
+		s.rd.removeLeafset(t, s.cands)
+	}
+	// (2) Pairs with the new leafset. Algorithm 4 line 6 draws these from
+	// rdict[x] ∩ rdict[y]; we enumerate the leafsets co-occurring with the
+	// new pattern instead — a superset of that intersection (positions of
+	// the new lines lie inside both parents') that keeps Partial's search
+	// aligned with Basic when a parent pair was not itself a positive
+	// candidate. §V's sparsity observation still bounds the work: only
+	// co-occurring leafsets are touched.
+	batch := s.batch[:0]
+	if len(db.CoresetsOf(res.New)) > 0 {
+		for _, rel := range s.pe.coOccurring(db, res.New) {
+			batch = append(batch, pairKey(rel, res.New))
+		}
+	}
+	step2 := len(batch)
+	// (3) Pairs whose gain the merge influenced: every pair that touches a
+	// partially merged leafset. Its lines shrank, so gains in both
+	// directions are possible (a previously useless pair can flip positive
+	// when the leftover positions align better); co-occurrence bounds the
+	// work exactly as §V observes.
+	for _, p := range res.Part {
+		if p == res.New || len(db.CoresetsOf(p)) == 0 {
+			continue
+		}
+		for _, rel := range s.pe.coOccurring(db, p) {
+			if rel == res.New {
+				continue // handled in step 2
+			}
+			batch = append(batch, pairKey(p, rel))
+		}
+	}
+	s.batch = batch
+	gains := s.evalPairs(db, opts, batch)
+	for i, k := range batch {
+		if note != nil {
+			note(k)
+		}
+		x, y := unpackPair(k)
+		if g := gains[i]; g > 0 {
+			s.cands.Set(x, y, g)
+			s.rd.add(x, y)
+		} else if i >= step2 {
+			// Step-2 pairs are additions only; step-3 pairs also clear the
+			// stale candidate when the gain flipped non-positive.
+			s.cands.Remove(x, y)
+			s.rd.removePair(x, y)
+		}
+	}
 }
 
 // minePartial is Algorithms 3–4: seed candidates once, then after each merge
 // only (1) remove candidates of totally merged leafsets, (2) evaluate the
-// new leafset against the intersection of the merged pair's relations, and
-// (3) refresh pairs touching partially merged leafsets.
+// new leafset against the leafsets co-occurring with it, and (3) refresh
+// pairs touching partially merged leafsets.
 func minePartial(db *invdb.DB, opts Options, st *runStats) {
-	cands := newCandidateSet()
-	rd := make(rdict)
-	seedPairs := collectCoOccurringPairs(db)
-	seedGains := evalPairs(db, opts, seedPairs)
-	for i, k := range seedPairs {
-		if g := seedGains[i]; g > 0 {
-			x, y := unpackPair(k)
-			cands.Set(x, y, g)
-			rd.add(x, y)
-		}
-	}
+	s := newSearchState()
+	s.seed(db, opts)
 	merges := 0
 	// Distinct pairs whose gain was evaluated since the last committed
 	// merge; Fig. 5's update ratio counts each pair once per iteration.
 	evaled := make(map[uint64]struct{})
 	for opts.MaxIterations == 0 || merges < opts.MaxIterations {
-		x, y, _, ok := cands.PopMax()
+		x, y, _, ok := s.cands.PopMax()
 		if !ok {
 			return
 		}
@@ -335,77 +473,24 @@ func minePartial(db *invdb.DB, opts Options, st *runStats) {
 		evaled[pairKey(x, y)] = struct{}{}
 		g := evalGain(db, opts, x, y)
 		if g <= 0 {
-			rd.removePair(x, y)
+			s.rd.removePair(x, y)
 			continue
 		}
-		if top, live := cands.PeekGain(); live && g < top-1e-12 {
-			cands.Set(x, y, g)
+		if top, live := s.cands.PeekGain(); live && g < top-1e-12 {
+			s.cands.Set(x, y, g)
 			continue
 		}
-		rd.removePair(x, y)
+		s.rd.removePair(x, y)
 		res := db.ApplyMerge(x, y)
 		if len(res.Shared) == 0 {
 			st.record(db, len(evaled), possible, 0)
-			evaled = make(map[uint64]struct{})
+			clear(evaled)
 			merges++
 			continue
 		}
-		// (1) Remove totally merged leafsets and their candidates.
-		for _, t := range res.Total {
-			rd.removeLeafset(t, cands)
-		}
-		// (2) Add pairs with the new leafset. Algorithm 4 line 6 draws these
-		// from rdict[x] ∩ rdict[y]; we enumerate the leafsets co-occurring
-		// with the new pattern instead — a superset of that intersection
-		// (positions of the new lines lie inside both parents') that keeps
-		// Partial's search aligned with Basic when a parent pair was not
-		// itself a positive candidate. §V's sparsity observation still
-		// bounds the work: only co-occurring leafsets are touched.
-		if len(db.CoresetsOf(res.New)) > 0 {
-			for _, rel := range coOccurring(db, res.New) {
-				evaled[pairKey(rel, res.New)] = struct{}{}
-				if g := evalGain(db, opts, rel, res.New); g > 0 {
-					cands.Set(rel, res.New, g)
-					rd.add(rel, res.New)
-				}
-			}
-		}
-		// (3) Refresh pairs whose gain the merge influenced: every pair that
-		// touches a partially merged leafset. Its lines shrank, so gains in
-		// both directions are possible (a previously useless pair can flip
-		// positive when the leftover positions align better); co-occurrence
-		// bounds the work exactly as §V observes.
-		for _, p := range res.Part {
-			if p == res.New {
-				continue
-			}
-			if len(db.CoresetsOf(p)) == 0 {
-				continue
-			}
-			for _, rel := range coOccurring(db, p) {
-				if rel == res.New {
-					continue // handled in step 2
-				}
-				evaled[pairKey(p, rel)] = struct{}{}
-				if g := evalGain(db, opts, p, rel); g > 0 {
-					cands.Set(p, rel, g)
-					rd.add(p, rel)
-				} else {
-					cands.Remove(p, rel)
-					rd.removePair(p, rel)
-				}
-			}
-		}
+		s.refresh(db, opts, res, func(k uint64) { evaled[k] = struct{}{} })
 		st.record(db, len(evaled), possible, res.Gain)
-		evaled = make(map[uint64]struct{})
+		clear(evaled)
 		merges++
 	}
-}
-
-// Validate sanity-checks options.
-func (o Options) Validate() error {
-	if o.MaxIterations < 0 {
-		return fmt.Errorf("cspm: MaxIterations must be >= 0, got %d", o.MaxIterations)
-	}
-	return nil
 }

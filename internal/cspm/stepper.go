@@ -9,31 +9,27 @@ import (
 // debugging, visualisation, and anytime mining (stop whenever the model is
 // good enough — every prefix of the merge sequence is a valid lossless
 // model). Construct with NewStepper, call Step until it returns false, and
-// read Snapshot for the current model at any point.
+// read Snapshot for the current model at any point. Step applies exactly the
+// merges MineWithOptions would, in the same order.
 type Stepper struct {
 	db    *invdb.DB
 	vocab *graph.Vocab
 	opts  Options
 
-	cands  *candidateSet
-	rd     rdict
+	state  *searchState
 	merges int
 	doneC  bool
 }
 
-// NewStepper builds the inverted database and seeds the candidate set.
+// NewStepper builds the inverted database and seeds the candidate set. It
+// panics if opts fails Validate.
 func NewStepper(g *graph.Graph, opts Options) *Stepper {
-	db := invdb.FromGraph(g)
-	s := &Stepper{db: db, vocab: g.Vocab(), opts: opts, cands: newCandidateSet(), rd: make(rdict)}
-	pairs := collectCoOccurringPairs(db)
-	gains := evalPairs(db, opts, pairs)
-	for i, k := range pairs {
-		if g := gains[i]; g > 0 {
-			x, y := unpackPair(k)
-			s.cands.Set(x, y, g)
-			s.rd.add(x, y)
-		}
+	if err := opts.Validate(); err != nil {
+		panic(err)
 	}
+	db := invdb.FromGraph(g)
+	s := &Stepper{db: db, vocab: g.Vocab(), opts: opts, state: newSearchState()}
+	s.state.seed(db, opts)
 	return s
 }
 
@@ -44,53 +40,26 @@ func (s *Stepper) Step() (StepResult, bool) {
 		return StepResult{}, false
 	}
 	for {
-		x, y, _, ok := s.cands.PopMax()
+		x, y, _, ok := s.state.cands.PopMax()
 		if !ok {
 			s.doneC = true
 			return StepResult{}, false
 		}
 		g := evalGain(s.db, s.opts, x, y)
 		if g <= 0 {
-			s.rd.removePair(x, y)
+			s.state.rd.removePair(x, y)
 			continue
 		}
-		if top, live := s.cands.PeekGain(); live && g < top-1e-12 {
-			s.cands.Set(x, y, g)
+		if top, live := s.state.cands.PeekGain(); live && g < top-1e-12 {
+			s.state.cands.Set(x, y, g)
 			continue
 		}
-		s.rd.removePair(x, y)
+		s.state.rd.removePair(x, y)
 		res := s.db.ApplyMerge(x, y)
 		if len(res.Shared) == 0 {
 			continue
 		}
-		for _, t := range res.Total {
-			s.rd.removeLeafset(t, s.cands)
-		}
-		if len(s.db.CoresetsOf(res.New)) > 0 {
-			for _, rel := range coOccurring(s.db, res.New) {
-				if g := evalGain(s.db, s.opts, rel, res.New); g > 0 {
-					s.cands.Set(rel, res.New, g)
-					s.rd.add(rel, res.New)
-				}
-			}
-		}
-		for _, p := range res.Part {
-			if p == res.New || len(s.db.CoresetsOf(p)) == 0 {
-				continue
-			}
-			for _, rel := range coOccurring(s.db, p) {
-				if rel == res.New {
-					continue
-				}
-				if g := evalGain(s.db, s.opts, p, rel); g > 0 {
-					s.cands.Set(p, rel, g)
-					s.rd.add(p, rel)
-				} else {
-					s.cands.Remove(p, rel)
-					s.rd.removePair(p, rel)
-				}
-			}
-		}
+		s.state.refresh(s.db, s.opts, res, nil)
 		s.merges++
 		out := StepResult{
 			Merges:  s.merges,

@@ -1,0 +1,58 @@
+// Package epoch provides a generation-stamped visited set over dense
+// integer keys. Bump invalidates every mark in O(1) — no clearing between
+// uses — which makes it the allocation-free replacement for the per-call
+// dedup maps on the mining hot paths (invdb's union spell-out, cspm's
+// co-occurring pair enumeration; see DESIGN.md "scratch arenas").
+package epoch
+
+// Set is a visited set keyed by small non-negative integers. The zero value
+// is ready to use; storage grows on demand and is never shrunk. Not safe
+// for concurrent use.
+type Set struct {
+	stamp []uint32
+	cur   uint32
+}
+
+// Grow pre-sizes the stamp array for keys < n, preserving current marks.
+// Mark grows automatically; Grow just hoists the allocation out of loops.
+func (s *Set) Grow(n int) {
+	if n > len(s.stamp) {
+		grown := make([]uint32, n+n/2)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+}
+
+// Bump starts a fresh generation, invalidating all marks. On the
+// (astronomically rare) uint32 wraparound the stamps are cleared so stale
+// marks from 2^32 generations ago cannot collide.
+func (s *Set) Bump() {
+	s.cur++
+	if s.cur == 0 {
+		clear(s.stamp)
+		s.cur = 1
+	}
+}
+
+// Mark stamps key k in the current generation and reports whether it was
+// unseen, growing the stamp array as needed. The zero value starts in a
+// valid first generation (lazily, since zero stamps must not read as seen).
+func (s *Set) Mark(k int) bool {
+	if s.cur == 0 {
+		s.cur = 1
+	}
+	if k >= len(s.stamp) {
+		s.Grow(k + 1)
+	}
+	if s.stamp[k] == s.cur {
+		return false
+	}
+	s.stamp[k] = s.cur
+	return true
+}
+
+// Generation exposes the current generation counter (diagnostics/tests).
+func (s *Set) Generation() uint32 { return s.cur }
+
+// SetGeneration forces the generation counter (tests exercising wraparound).
+func (s *Set) SetGeneration(g uint32) { s.cur = g }

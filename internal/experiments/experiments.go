@@ -116,6 +116,12 @@ type Table3Options struct {
 	// 280-airport USFlight), 5000 at Full (paper Table III runs Basic on
 	// everything but Pokec).
 	SkipBasicOverNodes int
+	// Workers is passed through to cspm.Options.Workers: 0 (default) lets
+	// gain evaluation use every core, 1 forces the serial baseline the
+	// paper's single-threaded numbers correspond to. Timings change, mined
+	// models do not (gain evaluation is deterministic across worker
+	// counts).
+	Workers int
 }
 
 // Table3 measures SLIM, CSPM-Basic and CSPM-Partial wall times per dataset.
@@ -139,13 +145,13 @@ func Table3(opts Table3Options) []Table3Row {
 
 		if g.NumVertices() <= opts.SkipBasicOverNodes {
 			start = time.Now()
-			cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic})
+			cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic, Workers: opts.Workers})
 			row.CSPMBasic = time.Since(start)
 			row.BasicRan = true
 		}
 
 		start = time.Now()
-		m := cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Partial, CollectStats: true})
+		m := cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Partial, CollectStats: true, Workers: opts.Workers})
 		row.CSPMPartial = time.Since(start)
 		row.PartialDL = m.FinalDL
 		row.BaselineDL = m.BaselineDL

@@ -8,7 +8,10 @@
 // reproducible.
 package intset
 
-import "sort"
+import (
+	"cmp"
+	"sort"
+)
 
 // Set is a sorted slice of distinct uint32 values. The zero value is an empty
 // set ready to use. All operations treat the receiver as immutable unless
@@ -106,39 +109,52 @@ func (s Set) Intersect(t Set) Set {
 	return out
 }
 
+// Seek returns the smallest index i >= lo with s[i] >= v (len(s) if none):
+// an exponential probe from lo narrows the range, a binary search finishes.
+// Successive seeks with ascending v and the returned lo give galloping
+// traversal, O(|probes|·log(gap)). Exported generically so every gallop
+// cursor in the system (position sets here, the inverted database's sorted
+// id slices) shares the one implementation.
+func Seek[E cmp.Ordered](s []E, v E, lo int) int {
+	step := 1
+	hi := lo
+	for hi < len(s) && s[hi] < v {
+		hi = lo + step
+		step <<= 1
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	a, b := lo, hi
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if s[mid] < v {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a
+}
+
+func seek(s Set, v uint32, lo int) int { return Seek(s, v, lo) }
+
 // gallopIntersect intersects small into big using exponential + binary
 // search, O(|small|·log(|big|/|small|)).
 func gallopIntersect(small, big Set) Set {
 	var out Set
 	lo := 0
 	for _, v := range small {
-		// Exponential probe from lo.
-		step := 1
-		hi := lo
-		for hi < len(big) && big[hi] < v {
-			hi = lo + step
-			step <<= 1
-		}
-		if hi > len(big) {
-			hi = len(big)
-		}
-		// Binary search in (lo-ish, hi].
-		a, b := lo, hi
-		for a < b {
-			mid := int(uint(a+b) >> 1)
-			if big[mid] < v {
-				a = mid + 1
-			} else {
-				b = mid
-			}
-		}
-		lo = a
-		if lo < len(big) && big[lo] == v {
-			out = append(out, v)
-			lo++
-		}
+		lo = seek(big, v, lo)
 		if lo >= len(big) {
 			break
+		}
+		if big[lo] == v {
+			out = append(out, v)
+			lo++
+			if lo >= len(big) {
+				break
+			}
 		}
 	}
 	return out
@@ -177,31 +193,16 @@ func gallopCount(small, big Set) int {
 	n := 0
 	lo := 0
 	for _, v := range small {
-		step := 1
-		hi := lo
-		for hi < len(big) && big[hi] < v {
-			hi = lo + step
-			step <<= 1
-		}
-		if hi > len(big) {
-			hi = len(big)
-		}
-		a, b := lo, hi
-		for a < b {
-			mid := int(uint(a+b) >> 1)
-			if big[mid] < v {
-				a = mid + 1
-			} else {
-				b = mid
-			}
-		}
-		lo = a
-		if lo < len(big) && big[lo] == v {
-			n++
-			lo++
-		}
+		lo = seek(big, v, lo)
 		if lo >= len(big) {
 			break
+		}
+		if big[lo] == v {
+			n++
+			lo++
+			if lo >= len(big) {
+				break
+			}
 		}
 	}
 	return n

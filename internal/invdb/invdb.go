@@ -4,6 +4,11 @@
 // pairs of leafsets; this package provides exact evaluation of the
 // description-length gain of a merge (Eq. 9–15 generalised) and its
 // application, maintaining the total DL incrementally.
+//
+// Gain evaluation is the miner's hot path and is allocation-free in steady
+// state: lines are indexed with compact sorted slices (lineIndex), the
+// fused intset kernels avoid materialising intersections, and per-call
+// buffers live in EvalScratch arenas (see DESIGN.md).
 package invdb
 
 import (
@@ -33,7 +38,9 @@ type Line struct {
 func (ln *Line) FL() int { return ln.Pos.Len() }
 
 // DB is the inverted database plus incremental description-length state.
-// It is not safe for concurrent use.
+// Mutating methods are not safe for concurrent use; EvalMergeScratch is a
+// pure read and may run from many goroutines at once (each with its own
+// EvalScratch) as long as no mutation is in flight.
 type DB struct {
 	st *mdl.StandardTable
 
@@ -43,13 +50,22 @@ type DB struct {
 	coreFreq    []int            // f_c: Σ fL over the coreset's lines (Eq. 8 note)
 
 	leafsets *LeafsetTable
-	byCore   []map[LeafsetID]*Line             // coreset → leafset → line
-	byLeaf   map[LeafsetID]map[CoresetID]*Line // leafset → coreset → line
+	byCore   []lineIndex[LeafsetID]             // coreset → leafset → line
+	byLeaf   map[LeafsetID]*lineIndex[CoresetID] // leafset → coreset → line
 	numLines int
 
 	dataDL  float64 // Eq. 8 over current lines
 	modelDL float64 // leafset spell-out costs + per-line coreset pointers
 	baseDL  float64 // dataDL + modelDL right after construction
+
+	scratch *EvalScratch // serial-eval arena, backs EvalMerge
+	// ApplyMerge scratch: snapshot of the merged pair's shared lines, taken
+	// before the indexes are mutated, plus the per-coreset intersection
+	// buffer (cloned only when the intersection becomes a stored line).
+	applyShared []CoresetID
+	applyX      []*Line
+	applyY      []*Line
+	applyInter  intset.Set
 }
 
 // StandardTable returns the ST the DB was built with.
@@ -81,19 +97,44 @@ func (db *DB) CorePositions(c CoresetID) intset.Set { return db.corePos[c] }
 
 // LinesOf returns the live lines of coreset c keyed by leafset. Callers must
 // not modify the map.
-func (db *DB) LinesOf(c CoresetID) map[LeafsetID]*Line { return db.byCore[c] }
+func (db *DB) LinesOf(c CoresetID) map[LeafsetID]*Line { return db.byCore[c].m }
+
+// LeafsetIDsOf returns the leafsets owning lines under coreset c, sorted
+// ascending. The slice aliases the index: callers must not modify it and
+// must not hold it across a mutation.
+func (db *DB) LeafsetIDsOf(c CoresetID) []LeafsetID { return db.byCore[c].ids }
 
 // CoresetsOf returns the live lines of leafset ls keyed by coreset, or nil
 // if the leafset owns no lines. Callers must not modify the map.
-func (db *DB) CoresetsOf(ls LeafsetID) map[CoresetID]*Line { return db.byLeaf[ls] }
+func (db *DB) CoresetsOf(ls LeafsetID) map[CoresetID]*Line {
+	if ix := db.byLeaf[ls]; ix != nil {
+		return ix.m
+	}
+	return nil
+}
+
+// CoresetIDsOf returns the coresets under which leafset ls owns lines,
+// sorted ascending. Same aliasing rules as LeafsetIDsOf.
+func (db *DB) CoresetIDsOf(ls LeafsetID) []CoresetID {
+	if ix := db.byLeaf[ls]; ix != nil {
+		return ix.ids
+	}
+	return nil
+}
 
 // ActiveLeafsets returns the ids of all leafsets that currently own lines.
 func (db *DB) ActiveLeafsets() []LeafsetID {
-	out := make([]LeafsetID, 0, len(db.byLeaf))
+	return db.AppendActiveLeafsets(nil)
+}
+
+// AppendActiveLeafsets appends the active leafset ids to dst[:0] and
+// returns it, reusing dst's capacity. Order is unspecified (map order).
+func (db *DB) AppendActiveLeafsets(dst []LeafsetID) []LeafsetID {
+	dst = dst[:0]
 	for ls := range db.byLeaf {
-		out = append(out, ls)
+		dst = append(dst, ls)
 	}
-	return out
+	return dst
 }
 
 // DataDL returns the current L(I|M) per Eq. 8.
@@ -151,8 +192,9 @@ func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, posi
 		corePos:     positions,
 		coreFreq:    make([]int, len(content)),
 		leafsets:    NewLeafsetTable(),
-		byCore:      make([]map[LeafsetID]*Line, len(content)),
-		byLeaf:      make(map[LeafsetID]map[CoresetID]*Line),
+		byCore:      make([]lineIndex[LeafsetID], len(content)),
+		byLeaf:      make(map[LeafsetID]*lineIndex[CoresetID]),
+		scratch:     NewEvalScratch(),
 	}
 	for c := range content {
 		db.coreCode[c] = st.SetLen(content[c])
@@ -198,16 +240,13 @@ func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, posi
 // insertLine registers a line in both indexes and the frequency tally. It
 // does not touch the DL accumulators.
 func (db *DB) insertLine(ln *Line) {
-	if db.byCore[ln.Core] == nil {
-		db.byCore[ln.Core] = make(map[LeafsetID]*Line)
+	db.byCore[ln.Core].insert(ln.Leaf, ln)
+	ix := db.byLeaf[ln.Leaf]
+	if ix == nil {
+		ix = &lineIndex[CoresetID]{}
+		db.byLeaf[ln.Leaf] = ix
 	}
-	db.byCore[ln.Core][ln.Leaf] = ln
-	m := db.byLeaf[ln.Leaf]
-	if m == nil {
-		m = make(map[CoresetID]*Line)
-		db.byLeaf[ln.Leaf] = m
-	}
-	m[ln.Core] = ln
+	ix.insert(ln.Core, ln)
 	db.coreFreq[ln.Core] += ln.FL()
 	db.numLines++
 }
@@ -215,10 +254,10 @@ func (db *DB) insertLine(ln *Line) {
 // removeLine unregisters a line from both indexes. The caller has already
 // accounted its positions in coreFreq.
 func (db *DB) removeLine(ln *Line) {
-	delete(db.byCore[ln.Core], ln.Leaf)
-	m := db.byLeaf[ln.Leaf]
-	delete(m, ln.Core)
-	if len(m) == 0 {
+	db.byCore[ln.Core].remove(ln.Leaf)
+	ix := db.byLeaf[ln.Leaf]
+	ix.remove(ln.Core)
+	if ix.size() == 0 {
 		delete(db.byLeaf, ln.Leaf)
 	}
 	db.numLines--
@@ -230,17 +269,14 @@ func (db *DB) removeLine(ln *Line) {
 func (db *DB) recomputeDL() (data, model float64) {
 	// Accumulate in sorted order: float sums must be a pure function of the
 	// database content, not of map layout, so baselines are bit-identical
-	// across DB instances built from the same graph.
-	for c, lines := range db.byCore {
+	// across DB instances built from the same graph. The index's sorted id
+	// slices provide that order directly.
+	for c := range db.byCore {
+		ix := &db.byCore[c]
 		data += mdl.XLogX(float64(db.coreFreq[c]))
-		ids := make([]LeafsetID, 0, len(lines))
-		for ls := range lines {
-			ids = append(ids, ls)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, ls := range ids {
+		for _, ln := range ix.lines {
 			model += db.coreCode[c]
-			data -= mdl.XLogX(float64(lines[ls].FL()))
+			data -= mdl.XLogX(float64(ln.FL()))
 		}
 	}
 	leafIDs := make([]LeafsetID, 0, len(db.byLeaf))
@@ -261,8 +297,8 @@ func (db *DB) RecomputeDL() (data, model float64) { return db.recomputeDL() }
 // how tightly leafsets are bound to their coresets.
 func (db *DB) CondEntropy() float64 {
 	pairs := make([][2]int, 0, db.numLines)
-	for c, lines := range db.byCore {
-		for _, ln := range lines {
+	for c := range db.byCore {
+		for _, ln := range db.byCore[c].lines {
 			pairs = append(pairs, [2]int{ln.FL(), db.coreFreq[c]})
 		}
 	}
@@ -283,51 +319,56 @@ type MergeEval struct {
 	CoOccurs int
 }
 
-// EvalMerge computes the exact DL gain of merging leafsets x and y. It
-// generalises Eq. 9–15: the three per-coreset merge cases (partly, totally,
-// one-side totally merged) fall out of the same position arithmetic, and the
-// cases where the union collides with an existing leafset (including
-// x ⊆ y or y ⊆ x) are handled by simulating the actual line updates.
+// EvalMerge computes the exact DL gain of merging leafsets x and y using the
+// DB-owned scratch arena. See EvalMergeScratch for the concurrent variant.
 func (db *DB) EvalMerge(x, y LeafsetID) MergeEval {
+	return db.EvalMergeScratch(x, y, db.scratch)
+}
+
+// EvalMergeScratch computes the exact DL gain of merging leafsets x and y.
+// It generalises Eq. 9–15: the three per-coreset merge cases (partly,
+// totally, one-side totally merged) fall out of the same position
+// arithmetic, and the cases where the union collides with an existing
+// leafset (including x ⊆ y or y ⊆ x) are handled by simulating the actual
+// line updates.
+//
+// The method reads the DB but never writes it; all transient state lives in
+// sc, so concurrent calls with distinct scratches are safe. It allocates
+// nothing once sc's buffers have warmed up, and the result is a pure
+// function of (db, x, y) — independent of which scratch is passed.
+func (db *DB) EvalMergeScratch(x, y LeafsetID, sc *EvalScratch) MergeEval {
 	ev := MergeEval{X: x, Y: y}
 	if x == y {
 		return ev
 	}
-	mx := db.byLeaf[x]
-	my := db.byLeaf[y]
-	if len(mx) == 0 || len(my) == 0 {
+	ixx := db.byLeaf[x]
+	ixy := db.byLeaf[y]
+	if ixx.size() == 0 || ixy.size() == 0 {
 		return ev
 	}
-	small := mx
-	if len(my) < len(mx) {
-		small = my
-	}
-	zID, zExists := db.lookupUnion(x, y)
+	zID, zExists := db.lookupUnion(x, y, sc)
 	zIsX := zExists && zID == x
 	zIsY := zExists && zID == y
 
-	shared := make([]CoresetID, 0, len(small))
-	for e := range small {
-		if _, ok := mx[e]; !ok {
-			continue
-		}
-		if _, ok := my[e]; !ok {
-			continue
-		}
-		shared = append(shared, e)
-	}
-	// Deterministic order keeps float accumulation (and therefore candidate
-	// tie-breaking) reproducible across runs.
-	sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
-
 	var dataGain, modelGain float64
 	removedX, removedY, zLinesAdded := 0, 0, 0
-	for _, e := range shared {
-		lnx := mx[e]
-		lny := my[e]
-		xye := lnx.Pos.IntersectCount(lny.Pos)
+	// evalShared accounts one shared coreset. Callers invoke it in ascending
+	// coreset order, keeping float accumulation (and therefore candidate
+	// tie-breaking) reproducible across runs.
+	evalShared := func(e CoresetID, lnx, lny *Line) {
+		var lnz *Line
+		if zExists && !zIsX && !zIsY {
+			lnz = db.byCore[e].m[zID]
+		}
+		var xye, zDiff int
+		if lnz != nil {
+			// Fused kernel: |x∩y| and |(x∩y)\z| in one unmaterialised pass.
+			xye, zDiff = intset.IntersectCountAndDiffCount(lnx.Pos, lny.Pos, lnz.Pos)
+		} else {
+			xye = lnx.Pos.IntersectCount(lny.Pos)
+		}
 		if xye == 0 {
-			continue
+			return
 		}
 		ev.CoOccurs++
 		xe, ye := lnx.FL(), lny.FL()
@@ -357,12 +398,9 @@ func (db *DB) EvalMerge(x, y LeafsetID) MergeEval {
 			}
 		default:
 			zeBefore, zeAfter := 0, xye
-			if zExists {
-				if lnz, ok := db.byCore[e][zID]; ok {
-					inter := lnx.Pos.Intersect(lny.Pos)
-					zeBefore = lnz.FL()
-					zeAfter = zeBefore + inter.Diff(lnz.Pos).Len()
-				}
+			if lnz != nil {
+				zeBefore = lnz.FL()
+				zeAfter = zeBefore + zDiff
 			}
 			oldTerms = mdl.XLogX(float64(xe)) + mdl.XLogX(float64(ye)) + mdl.XLogX(float64(zeBefore))
 			newTerms = mdl.XLogX(float64(xe-xye)) + mdl.XLogX(float64(ye-xye)) + mdl.XLogX(float64(zeAfter))
@@ -383,20 +421,66 @@ func (db *DB) EvalMerge(x, y LeafsetID) MergeEval {
 		dataGain += (mdl.XLogX(fe) - mdl.XLogX(feAfter)) + (newTerms - oldTerms)
 		modelGain += float64(removed-added) * db.coreCode[e]
 	}
+	// Walk the shared coresets. Balanced index sizes take the linear
+	// merge-walk; badly skewed ones (a hub leafset against a small one)
+	// gallop over the larger sorted id slice instead, preserving the old
+	// small-side asymptotics.
+	xids, yids := ixx.ids, ixy.ids
+	if len(yids) > indexGallopRatio*len(xids) || len(xids) > indexGallopRatio*len(yids) {
+		small, big := ixx, ixy
+		swapped := false
+		if len(yids) < len(xids) {
+			small, big = ixy, ixx
+			swapped = true
+		}
+		lo := 0
+		for si, e := range small.ids {
+			lo = intset.Seek(big.ids, e, lo)
+			if lo >= len(big.ids) {
+				break
+			}
+			if big.ids[lo] != e {
+				continue
+			}
+			if swapped {
+				evalShared(e, big.lines[lo], small.lines[si])
+			} else {
+				evalShared(e, small.lines[si], big.lines[lo])
+			}
+			lo++
+			if lo >= len(big.ids) {
+				break
+			}
+		}
+	} else {
+		i, j := 0, 0
+		for i < len(xids) && j < len(yids) {
+			switch {
+			case xids[i] < yids[j]:
+				i++
+			case xids[i] > yids[j]:
+				j++
+			default:
+				evalShared(xids[i], ixx.lines[i], ixy.lines[j])
+				i++
+				j++
+			}
+		}
+	}
 	if ev.CoOccurs == 0 {
 		return ev
 	}
 	// Leafset spell-out costs: credit x/y if they lose their last line,
 	// charge z if it gains its first.
-	if removedX == len(mx) && !zIsX {
+	if removedX == len(xids) && !zIsX {
 		modelGain += db.st.SetLen(db.leafsets.Values(x))
 	}
-	if removedY == len(my) && !zIsY {
+	if removedY == len(yids) && !zIsY {
 		modelGain += db.st.SetLen(db.leafsets.Values(y))
 	}
 	if !zIsX && !zIsY && zLinesAdded > 0 {
-		if !zExists || len(db.byLeaf[zID]) == 0 {
-			modelGain -= db.unionSpellLen(x, y)
+		if !zExists || db.byLeaf[zID].size() == 0 {
+			modelGain -= db.unionSpellLen(x, y, sc)
 		}
 	}
 	ev.DataGain = dataGain
@@ -409,10 +493,10 @@ func (db *DB) EvalMerge(x, y LeafsetID) MergeEval {
 }
 
 // lookupUnion finds the interned id of content(x) ∪ content(y) without
-// interning it.
-func (db *DB) lookupUnion(x, y LeafsetID) (LeafsetID, bool) {
+// interning it, using sc's union and key buffers to stay allocation-free.
+func (db *DB) lookupUnion(x, y LeafsetID, sc *EvalScratch) (LeafsetID, bool) {
 	vx, vy := db.leafsets.Values(x), db.leafsets.Values(y)
-	out := make([]graph.AttrID, 0, len(vx)+len(vy))
+	out := sc.unionBuf[:0]
 	i, j := 0, 0
 	for i < len(vx) && j < len(vy) {
 		switch {
@@ -430,22 +514,23 @@ func (db *DB) lookupUnion(x, y LeafsetID) (LeafsetID, bool) {
 	}
 	out = append(out, vx[i:]...)
 	out = append(out, vy[j:]...)
-	id, ok := db.leafsets.byKey[leafsetKey(out)]
+	sc.unionBuf = out
+	id, ok := db.leafsets.lookup(out, &sc.keyBuf)
 	return id, ok
 }
 
-func (db *DB) unionSpellLen(x, y LeafsetID) float64 {
-	seen := make(map[graph.AttrID]struct{})
+// unionSpellLen sums the ST lengths of the distinct values of x ∪ y, using
+// sc's epoch-stamped attribute set instead of a per-call dedup map.
+func (db *DB) unionSpellLen(x, y LeafsetID, sc *EvalScratch) float64 {
+	sc.seenAttr.Bump()
 	sum := 0.0
 	for _, a := range db.leafsets.Values(x) {
-		if _, ok := seen[a]; !ok {
-			seen[a] = struct{}{}
+		if sc.seenAttr.Mark(int(a)) {
 			sum += db.st.Len(a)
 		}
 	}
 	for _, a := range db.leafsets.Values(y) {
-		if _, ok := seen[a]; !ok {
-			seen[a] = struct{}{}
+		if sc.seenAttr.Mark(int(a)) {
 			sum += db.st.Len(a)
 		}
 	}
@@ -471,40 +556,47 @@ func (db *DB) ApplyMerge(x, y LeafsetID) MergeResult {
 	if x == y {
 		return res
 	}
-	mx := db.byLeaf[x]
-	my := db.byLeaf[y]
-	if len(mx) == 0 || len(my) == 0 {
+	ixx := db.byLeaf[x]
+	ixy := db.byLeaf[y]
+	if ixx.size() == 0 || ixy.size() == 0 {
 		return res
 	}
-	// Collect the shared coresets first: we mutate the indexes while merging.
-	var shared []CoresetID
-	if len(mx) <= len(my) {
-		for e := range mx {
-			if _, ok := my[e]; ok {
-				shared = append(shared, e)
-			}
-		}
-	} else {
-		for e := range my {
-			if _, ok := mx[e]; ok {
-				shared = append(shared, e)
-			}
+	// Snapshot the shared coresets and their line pointers first: the merge
+	// mutates the indexes while it walks them. The snapshot buffers are
+	// DB-owned scratch (ApplyMerge is sequential by contract).
+	shared := db.applyShared[:0]
+	linesX := db.applyX[:0]
+	linesY := db.applyY[:0]
+	xids, yids := ixx.ids, ixy.ids
+	for i, j := 0, 0; i < len(xids) && j < len(yids); {
+		switch {
+		case xids[i] < yids[j]:
+			i++
+		case xids[i] > yids[j]:
+			j++
+		default:
+			shared = append(shared, xids[i])
+			linesX = append(linesX, ixx.lines[i])
+			linesY = append(linesY, ixy.lines[j])
+			i++
+			j++
 		}
 	}
+	db.applyShared, db.applyX, db.applyY = shared, linesX, linesY
 	if len(shared) == 0 {
 		return res
 	}
-	sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
 
 	dlBeforeData, dlBeforeModel := db.dataDL, db.modelDL
 	z := db.leafsets.Union(x, y)
 	res.New = z
-	zHadLines := len(db.byLeaf[z]) > 0
+	zHadLines := db.byLeaf[z].size() > 0
 
-	for _, e := range shared {
-		lnx := db.byCore[e][x]
-		lny := db.byCore[e][y]
-		inter := lnx.Pos.Intersect(lny.Pos)
+	for si, e := range shared {
+		lnx := linesX[si]
+		lny := linesY[si]
+		inter := lnx.Pos.IntersectInto(lny.Pos, db.applyInter)
+		db.applyInter = inter
 		xye := inter.Len()
 		if xye == 0 {
 			continue
@@ -532,13 +624,13 @@ func (db *DB) ApplyMerge(x, y LeafsetID) MergeResult {
 		default:
 			update(lnx, lnx.Pos.Diff(inter))
 			update(lny, lny.Pos.Diff(inter))
-			if lnz, ok := db.byCore[e][z]; ok {
+			if lnz := db.byCore[e].get(z); lnz != nil {
 				newPos := lnz.Pos.Union(inter)
 				db.coreFreq[e] += newPos.Len() - lnz.FL()
 				dataDelta += mdl.XLogX(float64(lnz.FL())) - mdl.XLogX(float64(newPos.Len()))
 				lnz.Pos = newPos
 			} else {
-				db.insertLine(&Line{Core: e, Leaf: z, Pos: inter})
+				db.insertLine(&Line{Core: e, Leaf: z, Pos: inter.Clone()})
 				dataDelta -= mdl.XLogX(float64(xye))
 				modelDelta -= db.coreCode[e]
 			}
@@ -551,19 +643,19 @@ func (db *DB) ApplyMerge(x, y LeafsetID) MergeResult {
 		return res
 	}
 	// Leafset spell-out adjustments.
-	if len(db.byLeaf[x]) == 0 && z != x {
+	if db.byLeaf[x].size() == 0 && z != x {
 		db.modelDL -= db.st.SetLen(db.leafsets.Values(x))
 		res.Total = append(res.Total, x)
 	} else {
 		res.Part = append(res.Part, x)
 	}
-	if len(db.byLeaf[y]) == 0 && z != y {
+	if db.byLeaf[y].size() == 0 && z != y {
 		db.modelDL -= db.st.SetLen(db.leafsets.Values(y))
 		res.Total = append(res.Total, y)
 	} else {
 		res.Part = append(res.Part, y)
 	}
-	if !zHadLines && len(db.byLeaf[z]) > 0 && z != x && z != y {
+	if !zHadLines && db.byLeaf[z].size() > 0 && z != x && z != y {
 		db.modelDL += db.st.SetLen(db.leafsets.Values(z))
 	}
 	res.Gain = (dlBeforeData + dlBeforeModel) - (db.dataDL + db.modelDL)

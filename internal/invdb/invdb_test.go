@@ -49,7 +49,7 @@ func lineOf(t *testing.T, db *DB, g *graph.Graph, core, leaf string) *Line {
 	if !ok {
 		return nil
 	}
-	return db.byCore[c][ls]
+	return db.byCore[c].get(ls)
 }
 
 func TestFig1MappingTable(t *testing.T) {
@@ -150,22 +150,22 @@ func TestFig4Merge(t *testing.T) {
 	lsBC := db.Leafsets().Union(lsB, lsC)
 	a := CoresetID(attr(t, g, "a"))
 	bCore := CoresetID(attr(t, g, "b"))
-	if ln := db.byCore[a][lsBC]; ln == nil || !ln.Pos.Equal(intset.New(0, 4)) {
+	if ln := db.byCore[a].get(lsBC); ln == nil || !ln.Pos.Equal(intset.New(0, 4)) {
 		t.Errorf("({a},{b,c}) = %v, want positions {v1,v5}", ln)
 	}
-	if ln := db.byCore[a][lsB]; ln != nil {
+	if ln := db.byCore[a].get(lsB); ln != nil {
 		t.Errorf("({a},{b}) should be totally merged, still has %v", ln.Pos)
 	}
-	if ln := db.byCore[a][lsC]; ln != nil {
+	if ln := db.byCore[a].get(lsC); ln != nil {
 		t.Errorf("({a},{c}) should be totally merged, still has %v", ln.Pos)
 	}
-	if ln := db.byCore[bCore][lsBC]; ln == nil || !ln.Pos.Equal(intset.New(4)) {
+	if ln := db.byCore[bCore].get(lsBC); ln == nil || !ln.Pos.Equal(intset.New(4)) {
 		t.Errorf("({b},{b,c}) = %v, want positions {v5}", ln)
 	}
-	if ln := db.byCore[bCore][lsB]; ln == nil || !ln.Pos.Equal(intset.New(3)) {
+	if ln := db.byCore[bCore].get(lsB); ln == nil || !ln.Pos.Equal(intset.New(3)) {
 		t.Errorf("({b},{b}) = %v, want positions {v4}", ln)
 	}
-	if ln := db.byCore[bCore][lsC]; ln != nil {
+	if ln := db.byCore[bCore].get(lsC); ln != nil {
 		t.Errorf("({b},{c}) should be totally merged, still has %v", ln.Pos)
 	}
 	// Frequencies after: a: 4, b: 3, c: 3 (untouched).
@@ -185,7 +185,9 @@ func TestFig4Merge(t *testing.T) {
 	checkConsistency(t, db)
 }
 
-// checkConsistency verifies the structural invariants of the DB.
+// checkConsistency verifies the structural invariants of the DB, including
+// the compact-index ones: sorted id slices parallel to the line slices and
+// in lockstep with the maps.
 func checkConsistency(t *testing.T, db *DB) {
 	t.Helper()
 	data, model := db.RecomputeDL()
@@ -196,16 +198,18 @@ func checkConsistency(t *testing.T, db *DB) {
 		t.Errorf("modelDL drifted: incremental %v, recomputed %v", db.ModelDL(), model)
 	}
 	lines := 0
-	for c, m := range db.byCore {
+	for c := range db.byCore {
+		ix := &db.byCore[c]
+		checkIndex(t, ix)
 		sum := 0
-		for ls, ln := range m {
+		for ls, ln := range ix.m {
 			if ln.FL() == 0 {
 				t.Errorf("empty line survived at coreset %d", c)
 			}
 			if ln.Core != CoresetID(c) || ln.Leaf != ls {
 				t.Errorf("index mismatch on line %+v", ln)
 			}
-			if db.byLeaf[ls][CoresetID(c)] != ln {
+			if db.byLeaf[ls].get(CoresetID(c)) != ln {
 				t.Errorf("byLeaf missing line (%d,%d)", c, ls)
 			}
 			sum += ln.FL()
@@ -218,14 +222,33 @@ func checkConsistency(t *testing.T, db *DB) {
 	if lines != db.numLines {
 		t.Errorf("numLines = %d, want %d", db.numLines, lines)
 	}
-	for ls, m := range db.byLeaf {
-		if len(m) == 0 {
-			t.Errorf("leafset %d has empty coreset map", ls)
+	for ls, ix := range db.byLeaf {
+		if ix.size() == 0 {
+			t.Errorf("leafset %d has empty coreset index", ls)
 		}
-		for c, ln := range m {
-			if db.byCore[c][ls] != ln {
+		checkIndex(t, ix)
+		for c, ln := range ix.m {
+			if db.byCore[c].get(ls) != ln {
 				t.Errorf("byCore missing line (%d,%d)", c, ls)
 			}
+		}
+	}
+}
+
+// checkIndex asserts the lineIndex invariants: ids strictly ascending,
+// slices parallel, and id→line agreement between map and slices.
+func checkIndex[K ~int32](t *testing.T, ix *lineIndex[K]) {
+	t.Helper()
+	if len(ix.ids) != len(ix.lines) || len(ix.ids) != len(ix.m) {
+		t.Errorf("index size mismatch: ids=%d lines=%d map=%d", len(ix.ids), len(ix.lines), len(ix.m))
+		return
+	}
+	for i, id := range ix.ids {
+		if i > 0 && ix.ids[i-1] >= id {
+			t.Errorf("index ids not strictly ascending at %d: %v", i, ix.ids)
+		}
+		if ix.m[id] != ix.lines[i] {
+			t.Errorf("index slice/map disagree at id %d", id)
 		}
 	}
 }

@@ -23,12 +23,18 @@ func NewLeafsetTable() *LeafsetTable {
 	return &LeafsetTable{byKey: make(map[string]LeafsetID)}
 }
 
-func leafsetKey(vals []graph.AttrID) string {
-	buf := make([]byte, 4*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+// appendLeafsetKey appends the interning key encoding of vals to dst: the
+// single source of truth shared by leafsetKey and lookup, so the allocating
+// and allocation-free paths can never drift apart.
+func appendLeafsetKey(dst []byte, vals []graph.AttrID) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
 	}
-	return string(buf)
+	return dst
+}
+
+func leafsetKey(vals []graph.AttrID) string {
+	return string(appendLeafsetKey(make([]byte, 0, 4*len(vals)), vals))
 }
 
 // Intern returns the id of the sorted value set vals, assigning a fresh id on
@@ -43,6 +49,17 @@ func (t *LeafsetTable) Intern(vals []graph.AttrID) LeafsetID {
 	t.byKey[key] = id
 	t.content = append(t.content, vals)
 	return id
+}
+
+// lookup returns the id of the sorted value set vals without interning it.
+// The interning key is encoded into *buf (grown as needed, reused across
+// calls) and passed to the map as a string conversion the compiler keeps on
+// the stack, so the lookup allocates nothing.
+func (t *LeafsetTable) lookup(vals []graph.AttrID, buf *[]byte) (LeafsetID, bool) {
+	b := appendLeafsetKey((*buf)[:0], vals)
+	*buf = b
+	id, ok := t.byKey[string(b)]
+	return id, ok
 }
 
 // Single interns the one-element leafset {a}.

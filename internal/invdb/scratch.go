@@ -1,0 +1,23 @@
+package invdb
+
+import (
+	"cspm/internal/epoch"
+	"cspm/internal/graph"
+)
+
+// EvalScratch is the per-evaluator scratch arena that makes EvalMergeScratch
+// allocation-free in steady state: the leafset-union buffer and interning
+// key buffer back the union-collision lookup, and the epoch-stamped
+// attribute set replaces the per-call dedup map of the union spell-out
+// cost. A scratch belongs to exactly one goroutine; parallel gain evaluators
+// each own one (NewEvalScratch) and share the DB read-only, so scratches
+// never synchronise. Buffers grow on demand and are never shrunk.
+type EvalScratch struct {
+	unionBuf []graph.AttrID // content(x) ∪ content(y) for the collision lookup
+	keyBuf   []byte         // interning key encoding of unionBuf
+	seenAttr epoch.Set      // dedup of unionSpellLen, keyed by AttrID
+}
+
+// NewEvalScratch returns an empty scratch arena for use with
+// EvalMergeScratch. Buffers are sized lazily on first use.
+func NewEvalScratch() *EvalScratch { return &EvalScratch{} }

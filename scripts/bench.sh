@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Runs the Table III + micro benchmark suite with -benchmem and appends the
+# parsed results to BENCH_1.json (see DESIGN.md's experiment index).
+#
+#   scripts/bench.sh                       # default pattern, BENCH_1.json
+#   scripts/bench.sh -label post-change    # tag the run
+#   scripts/bench.sh -bench 'Table3' -benchtime 5x -out BENCH_2.json
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"
