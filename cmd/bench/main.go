@@ -27,12 +27,12 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64           `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one bench invocation appended to the trajectory file.

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	cspm [-variant partial|basic] [-multicore] [-top N] [-stats] [-multileaf] graph.txt
+//	cspm [-variant partial|basic] [-multicore] [-shards K] [-shard-strategy auto|components|edgecut]
+//	     [-top N] [-stats] [-multileaf] graph.txt
 //
 // The input format is line oriented: "v <id> <value>..." declares vertex
 // attributes, "e <u> <v>" an undirected edge, "#" starts a comment. With
@@ -25,6 +26,8 @@ func main() {
 	flag.IntVar(&cfg.Top, "top", 50, "print at most this many patterns (0 = all)")
 	flag.BoolVar(&cfg.Stats, "stats", false, "print per-run statistics")
 	flag.BoolVar(&cfg.MultiOnly, "multileaf", false, "print only patterns with ≥2 leaf values")
+	flag.IntVar(&cfg.Shards, "shards", 0, "mine with this many concurrent shards (0/1 = unsharded)")
+	flag.StringVar(&cfg.ShardStrategy, "shard-strategy", "auto", "shard partitioning: auto, components or edgecut")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cspm [flags] graph.txt (or - for stdin)")

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gengraph -dataset dblp|dblptrend|usflight|pokec|planted|alarms [-seed N] [-nodes N]
+//	gengraph -dataset dblp|dblptrend|usflight|pokec|planted|islands|alarms [-seed N] [-nodes N]
 package main
 
 import (
@@ -15,9 +15,9 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "dblp", "dblp, dblptrend, usflight, pokec, planted or alarms")
+	name := flag.String("dataset", "dblp", "dblp, dblptrend, usflight, pokec, planted, islands or alarms")
 	seed := flag.Int64("seed", 1, "generator seed")
-	nodes := flag.Int("nodes", 0, "node count override (pokec only)")
+	nodes := flag.Int("nodes", 0, "node count override (pokec), island count (islands)")
 	flag.Parse()
 
 	g, err := cli.Generate(*name, *seed, *nodes)

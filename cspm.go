@@ -74,12 +74,27 @@ type (
 	Variant = icspm.Variant
 	// IterationStat records one merge iteration (Fig. 5 series).
 	IterationStat = icspm.IterationStat
+	// ShardStrategy selects how MineSharded partitions the graph.
+	ShardStrategy = icspm.ShardStrategy
 )
 
 // Re-exported variant constants.
 const (
 	Partial = icspm.Partial
 	Basic   = icspm.Basic
+)
+
+// Re-exported shard strategies.
+const (
+	// ShardAuto picks components when the graph decomposes, edge-cut
+	// otherwise.
+	ShardAuto = icspm.ShardAuto
+	// ShardComponents shards by attribute-closed component groups; the
+	// merged model is bit-identical to Mine's.
+	ShardComponents = icspm.ShardComponents
+	// ShardEdgeCut cuts one entangled component into balanced regions,
+	// then refines sequentially across the cut.
+	ShardEdgeCut = icspm.ShardEdgeCut
 )
 
 // Mine runs CSPM-Partial with single-value coresets — the parameter-free
@@ -90,6 +105,15 @@ func Mine(g *Graph) *Model { return icspm.Mine(g) }
 // iteration caps, stats collection, ablations).
 func MineWithOptions(g *Graph, opts Options) *Model {
 	return icspm.MineWithOptions(g, opts)
+}
+
+// MineSharded partitions g into shards mined concurrently and merges the
+// per-shard models with exact description-length accounting. Under the
+// default component strategy the result is bit-identical to Mine(g) while
+// wall time drops with shard parallelism; Options.Shards and
+// Options.ShardStrategy tune the partitioning.
+func MineSharded(g *Graph, opts Options) *Model {
+	return icspm.MineSharded(g, opts)
 }
 
 // MineMultiCore runs the §IV-F general mode: multi-value coresets are first

@@ -7,6 +7,7 @@
 package cspm_test
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -68,9 +69,41 @@ func TestWorkersDeterminismMini(t *testing.T) {
 	assertIdenticalModels(t, "mini/serial-vs-default", serial, defaulted)
 }
 
+// TestShardedDeterminism extends the worker-count contract to sharded runs:
+// for every (shards, workers) combination the full model — including the
+// per-iteration merge trajectory with its shard assignments — must be
+// bit-identical, because shard construction, per-shard searches, and the
+// merge step are all pure functions of the graph and the shard count.
+func TestShardedDeterminism(t *testing.T) {
+	g := dataset.Islands(dataset.DefaultIslands())
+	for _, shards := range []int{2, 3, 8} {
+		ref := cspm.MineSharded(g, cspm.Options{CollectStats: true, Shards: shards, Workers: 1})
+		for _, workers := range []int{2, 8, 0} { // 0 → all cores
+			got := cspm.MineSharded(g, cspm.Options{CollectStats: true, Shards: shards, Workers: workers})
+			name := fmt.Sprintf("islands/shards=%d/workers=%d", shards, workers)
+			assertIdenticalModels(t, name, ref, got)
+			for i := range ref.PerIter {
+				if ref.PerIter[i].Shard != got.PerIter[i].Shard {
+					t.Fatalf("%s: iteration %d ran on shard %d vs %d",
+						name, i+1, got.PerIter[i].Shard, ref.PerIter[i].Shard)
+				}
+			}
+		}
+	}
+	// The edge-cut fallback must be worker-deterministic too.
+	flights := dataset.USFlight(1)
+	ref := cspm.MineSharded(flights, cspm.Options{CollectStats: true, Shards: 4, Workers: 1})
+	got := cspm.MineSharded(flights, cspm.Options{CollectStats: true, Shards: 4, Workers: 8})
+	assertIdenticalModels(t, "usflight/edgecut", ref, got)
+	if !sameBits(ref.RefinementGain, got.RefinementGain) {
+		t.Fatalf("refinement gain differs across worker counts: %v vs %v",
+			ref.RefinementGain, got.RefinementGain)
+	}
+}
+
 func TestInvalidOptionsPanic(t *testing.T) {
 	g := experiments.MiniGraph(1)
-	for _, opts := range []cspm.Options{{Workers: -1}, {MaxIterations: -3}} {
+	for _, opts := range []cspm.Options{{Workers: -1}, {MaxIterations: -3}, {Shards: -2}, {ShardStrategy: cspm.ShardStrategy(7)}} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -24,17 +24,66 @@ type MineConfig struct {
 	Top       int
 	Stats     bool
 	MultiOnly bool
+	// Shards > 1 mines through cspm.MineSharded with that many shards;
+	// setting ShardStrategy to "components" or "edgecut" also opts into
+	// sharded mining (with an automatic shard count when Shards is 0).
+	// Shards ≤ 1 with ShardStrategy empty or "auto" mines unsharded.
+	// Incompatible with MultiCore.
+	Shards        int
+	ShardStrategy string
+}
+
+// parseShardStrategy maps the flag spelling to the miner's constant.
+func parseShardStrategy(s string) (cspm.ShardStrategy, error) {
+	switch s {
+	case "", "auto":
+		return cspm.ShardAuto, nil
+	case "components":
+		return cspm.ShardComponents, nil
+	case "edgecut":
+		return cspm.ShardEdgeCut, nil
+	default:
+		return 0, fmt.Errorf("unknown shard strategy %q (want auto, components or edgecut)", s)
+	}
 }
 
 // Mine reads a graph from r, mines it per cfg, and writes the ranked
 // patterns to w.
 func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
+	// Validate flag spellings before touching the (possibly huge) input —
+	// even for runs that end up unsharded — so typos surface as instant
+	// usage errors, never as silent behaviour changes or panics.
+	strategy, err := parseShardStrategy(cfg.ShardStrategy)
+	if err != nil {
+		return err
+	}
+	variant := cspm.Partial
+	switch cfg.Variant {
+	case "", "partial":
+	case "basic":
+		variant = cspm.Basic
+	default:
+		return fmt.Errorf("unknown variant %q (want partial or basic)", cfg.Variant)
+	}
+	sharded := cfg.Shards > 1 || strategy != cspm.ShardAuto
+	if sharded && cfg.MultiCore {
+		return fmt.Errorf("-multicore cannot be combined with sharded mining (multi-value coresets are mined globally)")
+	}
+	shardOpts := cspm.Options{
+		Variant: variant, CollectStats: true,
+		Shards: cfg.Shards, ShardStrategy: strategy,
+	}
+	if err := shardOpts.Validate(); err != nil {
+		return err
+	}
 	g, err := graph.Load(r)
 	if err != nil {
 		return err
 	}
 	var model *cspm.Model
 	switch {
+	case sharded:
+		model = cspm.MineSharded(g, shardOpts)
 	case cfg.MultiCore:
 		res := slim.Mine(slim.VertexTransactions(g), slim.Options{})
 		coresets, positions := slim.ItemsetsAsCoresets(res)
@@ -43,18 +92,19 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 			return err
 		}
 		model = cspm.MineDB(db, g.Vocab(), cspm.Options{CollectStats: true})
-	case cfg.Variant == "basic":
+	case variant == cspm.Basic:
 		model = cspm.MineWithOptions(g, cspm.Options{Variant: cspm.Basic, CollectStats: true})
-	case cfg.Variant == "partial" || cfg.Variant == "":
-		model = cspm.Mine(g)
 	default:
-		return fmt.Errorf("unknown variant %q (want partial or basic)", cfg.Variant)
+		model = cspm.Mine(g)
 	}
 	if cfg.Stats {
 		fmt.Fprintf(w, "# graph: %s\n", g.ComputeStats())
 		fmt.Fprintf(w, "# baseline DL: %.1f bits, final DL: %.1f bits (ratio %.3f)\n",
 			model.BaselineDL, model.FinalDL, model.CompressionRatio())
 		fmt.Fprintf(w, "# iterations: %d, gain evaluations: %d\n", model.Iterations, model.GainEvals)
+		if model.ShardCount > 0 {
+			fmt.Fprintf(w, "# shards: %d, refinement gain: %.1f bits\n", model.ShardCount, model.RefinementGain)
+		}
 	}
 	patterns := model.Patterns
 	if cfg.MultiOnly {
@@ -105,6 +155,14 @@ func Generate(name string, seed int64, nodes int) (*graph.Graph, error) {
 		cfg.Seed = seed
 		g, _ := dataset.Planted(cfg)
 		return g, nil
+	case "islands":
+		cfg := dataset.DefaultIslands()
+		cfg.Seed = seed
+		if nodes > 0 {
+			// Interpret the override as the island count.
+			cfg.Islands = nodes
+		}
+		return dataset.Islands(cfg), nil
 	case "alarms":
 		cfg := alarm.DefaultSim()
 		cfg.Seed = seed

@@ -66,6 +66,55 @@ func TestMineVariants(t *testing.T) {
 	}
 }
 
+// twoIslandText is fig1 plus a disconnected second component with its own
+// alphabet, so -shards has something to split.
+const twoIslandText = fig1Text + `v 5 x
+v 6 x y
+v 7 y
+e 5 6
+e 6 7
+e 5 7
+`
+
+func TestMineSharded(t *testing.T) {
+	var unsharded, sharded bytes.Buffer
+	if err := Mine(strings.NewReader(twoIslandText), &unsharded, MineConfig{Stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Mine(strings.NewReader(twoIslandText), &sharded, MineConfig{Stats: true, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sharded.String(), "# shards: 2") {
+		t.Fatalf("shard header missing:\n%s", sharded.String())
+	}
+	// Same patterns, same DLs: the component strategy is exact, so only the
+	// extra shard header line may differ.
+	trim := func(s string) string { return strings.ReplaceAll(s, "# shards: 2, refinement gain: 0.0 bits\n", "") }
+	if trim(sharded.String()) != unsharded.String() {
+		t.Fatalf("sharded output diverged:\n%s\nvs\n%s", sharded.String(), unsharded.String())
+	}
+	for _, cfg := range []MineConfig{
+		{Shards: 2, ShardStrategy: "edgecut"},
+		{Shards: 2, ShardStrategy: "components"},
+		{ShardStrategy: "components"},
+	} {
+		if err := Mine(strings.NewReader(twoIslandText), &bytes.Buffer{}, cfg); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	}
+	for _, cfg := range []MineConfig{
+		{Shards: 2, ShardStrategy: "bogus"},
+		{Shards: 1, ShardStrategy: "bogus"},       // strategy validated even when unsharded
+		{Shards: 2, MultiCore: true},              // unsupported combination
+		{Shards: 2, Variant: "bogus"},             // variant validated on the sharded path
+		{Shards: -2, ShardStrategy: "components"}, // must error, not panic
+	} {
+		if err := Mine(strings.NewReader(twoIslandText), &bytes.Buffer{}, cfg); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
 func TestMineMultiCore(t *testing.T) {
 	var out bytes.Buffer
 	if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{MultiCore: true}); err != nil {

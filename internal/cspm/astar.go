@@ -53,7 +53,9 @@ func (s AStar) Format(v *graph.Vocab) string {
 }
 
 // IterationStat records one merge iteration for the gain-update-ratio
-// analysis of Fig. 5.
+// analysis of Fig. 5. In a sharded run, GainUpdates, PossiblePairs and
+// TotalDL describe the database the merge ran against — the shard's, not the
+// global one.
 type IterationStat struct {
 	Iteration     int
 	GainUpdates   int     // gain evaluations performed this iteration
@@ -61,6 +63,12 @@ type IterationStat struct {
 	UpdateRatio   float64 // GainUpdates / PossiblePairs
 	Gain          float64 // realised DL reduction of the applied merge
 	TotalDL       float64 // DL after the merge
+	// Shard is the shard that applied the merge in a MineSharded run (0 in
+	// unsharded runs, -1 for the edge-cut refinement pass).
+	Shard int
+	// Refinement marks merges applied by the sequential refinement pass of
+	// the edge-cut strategy; their summed Gain is Model.RefinementGain.
+	Refinement bool
 }
 
 // Model is the output of a mining run: the a-stars ordered by ascending code
@@ -75,6 +83,13 @@ type Model struct {
 	GainEvals   int // total gain evaluations across the run
 	PerIter     []IterationStat
 	CondEntropy float64
+
+	// ShardCount is the number of shards a MineSharded run mined
+	// concurrently; 0 marks an unsharded run.
+	ShardCount int
+	// RefinementGain is the DL reduction realised by the sequential
+	// refinement pass of the edge-cut shard strategy (0 elsewhere).
+	RefinementGain float64
 }
 
 // CompressionRatio is FinalDL/BaselineDL; lower is better.
@@ -106,16 +121,14 @@ func (m *Model) MultiLeaf() []AStar {
 	return out
 }
 
-// extractModel converts the final inverted database into the ranked pattern
-// list. Ordering: ascending code length, then lexicographic contents so runs
-// are deterministic.
-func extractModel(db *invdb.DB, vocab *graph.Vocab) *Model {
-	m := &Model{Vocab: vocab}
+// extractPatterns converts a database's live lines into unranked a-stars.
+func extractPatterns(db *invdb.DB) []AStar {
+	var out []AStar
 	for c := 0; c < db.NumCoresets(); c++ {
 		fc := db.CoreFreq(invdb.CoresetID(c))
 		for _, ln := range db.LinesOf(invdb.CoresetID(c)) {
 			leaf := db.Leafsets().Values(ln.Leaf)
-			m.Patterns = append(m.Patterns, AStar{
+			out = append(out, AStar{
 				CoreValues: db.CoreValues(invdb.CoresetID(c)),
 				LeafValues: leaf,
 				FL:         ln.FL(),
@@ -124,34 +137,33 @@ func extractModel(db *invdb.DB, vocab *graph.Vocab) *Model {
 			})
 		}
 	}
-	sort.Slice(m.Patterns, func(i, j int) bool {
-		a, b := m.Patterns[i], m.Patterns[j]
+	return out
+}
+
+// sortPatterns ranks patterns: ascending code length, then lexicographic
+// contents. The order is total over distinct (core, leafset) pairs, so runs
+// — sharded or not — are deterministic.
+func sortPatterns(ps []AStar) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
 		if a.CodeLen != b.CodeLen {
 			return a.CodeLen < b.CodeLen
 		}
-		if c := compareAttrs(a.CoreValues, b.CoreValues); c != 0 {
+		if c := graph.CompareAttrs(a.CoreValues, b.CoreValues); c != 0 {
 			return c < 0
 		}
-		return compareAttrs(a.LeafValues, b.LeafValues) < 0
+		return graph.CompareAttrs(a.LeafValues, b.LeafValues) < 0
 	})
-	m.CondEntropy = db.CondEntropy()
-	return m
 }
 
-func compareAttrs(a, b []graph.AttrID) int {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			if a[i] < b[i] {
-				return -1
-			}
-			return 1
-		}
-	}
-	switch {
-	case len(a) < len(b):
-		return -1
-	case len(a) > len(b):
-		return 1
-	}
-	return 0
+// extractModel converts the final inverted database into the ranked pattern
+// list, pricing FinalDL and CondEntropy through the canonical summation
+// order (a pure function of the line multiset — see invdb.CanonicalDL).
+func extractModel(db *invdb.DB, vocab *graph.Vocab) *Model {
+	m := &Model{Vocab: vocab, Patterns: extractPatterns(db)}
+	sortPatterns(m.Patterns)
+	fd, fm, cond := invdb.CanonicalSummary(db.StandardTable(), db.CoreCodeLen, db.AppendLineStats(nil))
+	m.FinalDL = fd + fm
+	m.CondEntropy = cond
+	return m
 }

@@ -54,8 +54,21 @@ type Options struct {
 	// arena — so evaluation is embarrassingly parallel; merges stay
 	// sequential. 0 (the default) uses all cores; 1 forces serial
 	// evaluation; negative values are rejected by Validate. Results are
-	// bit-identical regardless of the worker count.
+	// bit-identical regardless of the worker count. MineSharded treats
+	// Workers as the TOTAL budget and splits it across shards.
 	Workers int
+	// Shards is the shard count for MineSharded: 0 (the default) mines one
+	// shard per independent vertex group, capped at GOMAXPROCS; 1
+	// degenerates to the unsharded search; negative values are rejected by
+	// Validate. Mine, MineWithOptions and MineDB ignore it. Under the
+	// component strategy results are identical for every shard count; under
+	// the edge-cut fallback the cut — and so the mined model — depends on
+	// the count, so pin Shards explicitly when edge-cut output must be
+	// reproducible across machines (0 resolves to GOMAXPROCS there).
+	Shards int
+	// ShardStrategy selects how MineSharded partitions the graph; see the
+	// ShardStrategy constants. Ignored outside MineSharded.
+	ShardStrategy ShardStrategy
 }
 
 // Validate sanity-checks options.
@@ -65,6 +78,12 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("cspm: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("cspm: Shards must be >= 0, got %d", o.Shards)
+	}
+	if o.ShardStrategy < ShardAuto || o.ShardStrategy > ShardEdgeCut {
+		return fmt.Errorf("cspm: unknown ShardStrategy %d", o.ShardStrategy)
 	}
 	return nil
 }
@@ -96,10 +115,16 @@ func MineWithOptions(g *graph.Graph, opts Options) *Model {
 // MineDB runs the merge search on a prepared inverted database. The caller
 // supplies the vocabulary used for rendering patterns (nil is allowed when
 // patterns are consumed as AttrIDs only). It panics if opts fails Validate.
+//
+// The reported BaselineDL and FinalDL are computed through the canonical
+// summation order (invdb.CanonicalDL): bit-identical for any search that
+// reaches the same final database, which is what lets MineSharded promise
+// bit-identical models (see DESIGN.md "Sharded mining").
 func MineDB(db *invdb.DB, vocab *graph.Vocab, opts Options) *Model {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
+	baseStats := db.AppendLineStats(nil)
 	var st *runStats
 	if opts.CollectStats {
 		st = &runStats{}
@@ -111,8 +136,8 @@ func MineDB(db *invdb.DB, vocab *graph.Vocab, opts Options) *Model {
 		minePartial(db, opts, st)
 	}
 	m := extractModel(db, vocab)
-	m.BaselineDL = db.BaselineDL()
-	m.FinalDL = db.TotalDL()
+	bd, bm := invdb.CanonicalDL(db.StandardTable(), db.CoreCodeLen, baseStats)
+	m.BaselineDL = bd + bm
 	if st != nil {
 		m.Iterations = st.iterations
 		m.GainEvals = st.gainEvals

@@ -2,12 +2,115 @@ package cspm
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"cspm/internal/graph"
 )
+
+// goldenPath is the checked-in serialization of Mine(fig1). The fixture pins
+// the on-disk model format AND the mined values: any drift in the JSON
+// layout, the DL accounting, or the fig1 search fails this test loudly.
+// Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/cspm -run TestModelJSONGolden
+const goldenPath = "testdata/golden_model.json"
+
+// goldenGraph is fig1 with a deterministic construction order: attribute
+// values are interned in a fixed sequence so vocabulary ids — and with them
+// the byte-exact JSON pattern order — are identical across processes. (fig1
+// itself ranges over a map, which deliberately shuffles interning order and
+// would make a byte-level golden comparison flaky.)
+func goldenGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	for _, va := range []struct {
+		v    graph.VertexID
+		vals []string
+	}{
+		{0, []string{"a"}}, {1, []string{"a", "c"}}, {2, []string{"c"}},
+		{3, []string{"b"}}, {4, []string{"a", "b"}},
+	} {
+		for _, val := range va.vals {
+			if err := b.AddAttr(va.v, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 2}, {0, 3}, {2, 4}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestModelJSONGolden(t *testing.T) {
+	g := goldenGraph(t)
+	m := Mine(g)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixture rewritten (%d bytes)", buf.Len())
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("serialized model drifted from %s.\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.\ngot:\n%s\nwant:\n%s",
+			goldenPath, buf.Bytes(), golden)
+	}
+	// The checked-in bytes must round-trip through both vocabulary modes.
+	for _, mode := range []string{"shared", "fresh"} {
+		vocab := g.Vocab()
+		if mode == "fresh" {
+			vocab = nil
+		}
+		m2, err := ReadJSON(bytes.NewReader(golden), vocab)
+		if err != nil {
+			t.Fatalf("%s vocab: %v", mode, err)
+		}
+		renderWith := m2.Vocab
+		if len(m2.Patterns) != len(m.Patterns) {
+			t.Fatalf("%s vocab: %d patterns, want %d", mode, len(m2.Patterns), len(m.Patterns))
+		}
+		for i := range m.Patterns {
+			a, b := m.Patterns[i], m2.Patterns[i]
+			if a.Format(g.Vocab()) != b.Format(renderWith) {
+				t.Fatalf("%s vocab: pattern %d renders %q, want %q",
+					mode, i, b.Format(renderWith), a.Format(g.Vocab()))
+			}
+			if a.FL != b.FL || a.FC != b.FC {
+				t.Fatalf("%s vocab: pattern %d frequencies changed: %+v vs %+v", mode, i, b, a)
+			}
+			if math.Float64bits(a.Confidence()) != math.Float64bits(b.Confidence()) {
+				t.Fatalf("%s vocab: pattern %d confidence %v != %v", mode, i, b.Confidence(), a.Confidence())
+			}
+			if math.Float64bits(a.CodeLen) != math.Float64bits(b.CodeLen) {
+				t.Fatalf("%s vocab: pattern %d code length %v != %v", mode, i, b.CodeLen, a.CodeLen)
+			}
+		}
+		if !sameF64(m2.BaselineDL, m.BaselineDL) || !sameF64(m2.FinalDL, m.FinalDL) || !sameF64(m2.CondEntropy, m.CondEntropy) {
+			t.Fatalf("%s vocab: DL metadata drifted", mode)
+		}
+	}
+}
+
+func sameF64(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
 
 func TestModelJSONRoundTrip(t *testing.T) {
 	g := fig1(t)

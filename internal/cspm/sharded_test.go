@@ -1,0 +1,77 @@
+package cspm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEdgeCutPartsCoverAndBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 60, 6, 0.1, 0.4)
+	for _, k := range []int{1, 2, 4, 7} {
+		parts := edgeCutParts(g, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d parts", k, len(parts))
+		}
+		seen := make([]bool, g.NumVertices())
+		for _, part := range parts {
+			for i, v := range part {
+				if i > 0 && part[i-1] >= v {
+					t.Fatalf("k=%d: part not sorted", k)
+				}
+				if seen[v] {
+					t.Fatalf("k=%d: vertex %d assigned twice", k, v)
+				}
+				seen[v] = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("k=%d: vertex %d unassigned", k, v)
+			}
+		}
+		target := (g.NumVertices() + k - 1) / k
+		for pi, part := range parts {
+			// Every part except the last is filled to the target exactly;
+			// the last absorbs the remainder.
+			if pi < k-1 && len(part) != target {
+				t.Fatalf("k=%d: part %d holds %d vertices, want %d", k, pi, len(part), target)
+			}
+		}
+		if !reflect.DeepEqual(parts, edgeCutParts(g, k)) {
+			t.Fatalf("k=%d: edge cut is not deterministic", k)
+		}
+	}
+}
+
+func TestShardStrategyString(t *testing.T) {
+	if ShardAuto.String() != "auto" || ShardComponents.String() != "components" || ShardEdgeCut.String() != "edgecut" {
+		t.Fatalf("strategy strings: %q %q %q", ShardAuto, ShardComponents, ShardEdgeCut)
+	}
+}
+
+// TestNewStepperValidates pins the Validate call in NewStepper: every
+// rejection path must panic rather than seed a broken search.
+func TestNewStepperValidates(t *testing.T) {
+	g := fig1(t)
+	for _, opts := range []Options{
+		{Workers: -1},
+		{MaxIterations: -1},
+		{Shards: -1},
+		{ShardStrategy: ShardStrategy(42)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStepper accepted invalid %+v", opts)
+				}
+			}()
+			NewStepper(g, opts)
+		}()
+	}
+	// And the zero value still constructs.
+	if s := NewStepper(g, Options{}); s == nil {
+		t.Fatal("NewStepper rejected the zero options")
+	}
+}

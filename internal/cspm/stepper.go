@@ -16,9 +16,10 @@ type Stepper struct {
 	vocab *graph.Vocab
 	opts  Options
 
-	state  *searchState
-	merges int
-	doneC  bool
+	baseStats []invdb.LineStat // initial lines, for canonical BaselineDL
+	state     *searchState
+	merges    int
+	doneC     bool
 }
 
 // NewStepper builds the inverted database and seeds the candidate set. It
@@ -29,6 +30,7 @@ func NewStepper(g *graph.Graph, opts Options) *Stepper {
 	}
 	db := invdb.FromGraph(g)
 	s := &Stepper{db: db, vocab: g.Vocab(), opts: opts, state: newSearchState()}
+	s.baseStats = db.AppendLineStats(nil)
 	s.state.seed(db, opts)
 	return s
 }
@@ -82,17 +84,25 @@ type StepResult struct {
 // Done reports whether the search is exhausted.
 func (s *Stepper) Done() bool { return s.doneC }
 
-// TotalDL returns the current description length.
+// TotalDL returns the current description length from the search's
+// incremental accumulators. It is a live diagnostic of the running search:
+// equal to the canonical Model DLs as a real number but not necessarily in
+// the last float bits — compare against Snapshot()/Mine models through
+// Snapshot, not this accessor.
 func (s *Stepper) TotalDL() float64 { return s.db.TotalDL() }
 
-// BaselineDL returns the pre-merge description length.
+// BaselineDL returns the pre-merge description length from the incremental
+// accumulators. Same caveat as TotalDL: a search-internal diagnostic, not
+// bit-comparable to Model.BaselineDL.
 func (s *Stepper) BaselineDL() float64 { return s.db.BaselineDL() }
 
 // Snapshot extracts the current model (valid after any number of steps).
+// Like MineDB, it prices BaselineDL and FinalDL canonically, so a snapshot
+// taken after the search exhausts is bit-identical to MineWithOptions.
 func (s *Stepper) Snapshot() *Model {
 	m := extractModel(s.db, s.vocab)
-	m.BaselineDL = s.db.BaselineDL()
-	m.FinalDL = s.db.TotalDL()
+	bd, bm := invdb.CanonicalDL(s.db.StandardTable(), s.db.CoreCodeLen, s.baseStats)
+	m.BaselineDL = bd + bm
 	m.Iterations = s.merges
 	return m
 }

@@ -197,6 +197,38 @@ func TestPlantedRecovery(t *testing.T) {
 	}
 }
 
+func TestIslandsShape(t *testing.T) {
+	cfg := DefaultIslands()
+	g := Islands(cfg)
+	p := graph.AttrClosedComponents(g)
+	if p.Count != cfg.Islands {
+		t.Fatalf("attr-closed groups = %d, want %d islands", p.Count, cfg.Islands)
+	}
+	if g.Connected() {
+		t.Fatal("islands graph should be disconnected")
+	}
+	// Disjoint alphabets: every value must occur in exactly one island.
+	vocab := g.Vocab()
+	ownerOf := make(map[graph.AttrID]int32)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Attrs(graph.VertexID(v)) {
+			if gid, ok := ownerOf[a]; ok && gid != p.Group[v] {
+				t.Fatalf("value %s spans islands %d and %d", vocab.Name(a), gid, p.Group[v])
+			}
+			ownerOf[a] = p.Group[v]
+		}
+	}
+	// Determinism and seed sensitivity.
+	if a, b := Islands(cfg).ComputeStats(), Islands(cfg).ComputeStats(); a != b {
+		t.Fatalf("same seed, different stats: %+v vs %+v", a, b)
+	}
+	other := cfg
+	other.Seed = 99
+	if a, b := Islands(cfg).ComputeStats(), Islands(other).ComputeStats(); a == b {
+		t.Fatal("different seeds produced identical stats")
+	}
+}
+
 func TestCitationShapes(t *testing.T) {
 	for _, cfg := range []CitationConfig{Cora(1), Citeseer(1), DBLPCitation(1)} {
 		g, class := Citation(cfg)

@@ -2,6 +2,27 @@ package graph
 
 import "fmt"
 
+// CompareAttrs orders attribute-id slices lexicographically (shorter prefix
+// first). It is the single ordering shared by pattern ranking tie-breaks and
+// the canonical description-length summation, which must never diverge.
+func CompareAttrs(a, b []AttrID) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
 // AttrID is the interned identifier of a nominal attribute value. CSPM
 // manipulates attribute values heavily (set intersections, map keys), so the
 // whole pipeline works on dense int32 ids and only translates back to strings

@@ -50,7 +50,7 @@ type DB struct {
 	coreFreq    []int            // f_c: Σ fL over the coreset's lines (Eq. 8 note)
 
 	leafsets *LeafsetTable
-	byCore   []lineIndex[LeafsetID]             // coreset → leafset → line
+	byCore   []lineIndex[LeafsetID]              // coreset → leafset → line
 	byLeaf   map[LeafsetID]*lineIndex[CoresetID] // leafset → coreset → line
 	numLines int
 
@@ -152,14 +152,14 @@ func (db *DB) TotalDL() float64 { return db.dataDL + db.modelDL }
 // merge; compression ratios are measured against it.
 func (db *DB) BaselineDL() float64 { return db.baseDL }
 
-// FromGraph builds the single-core-value inverted database of g: one coreset
-// per attribute value, one initial line per (core value, leaf value) pair
-// with the core-vertex positions where they are adjacent (paper Fig. 2).
-func FromGraph(g *graph.Graph) *DB {
-	st := mdl.NewStandardTable(g)
+// SingleValueCoresets builds the single-core-value coreset space of g: one
+// coreset per attribute value, firing at the vertices carrying it (ascending
+// order). Shared by FromGraph and the sharded miner's edge-cut reassembly so
+// the coreset-space construction cannot drift between them.
+func SingleValueCoresets(g *graph.Graph) (content [][]graph.AttrID, positions []intset.Set) {
 	nA := g.NumAttrValues()
-	content := make([][]graph.AttrID, nA)
-	positions := make([]intset.Set, nA)
+	content = make([][]graph.AttrID, nA)
+	positions = make([]intset.Set, nA)
 	posBuf := make([][]uint32, nA)
 	for v := 0; v < g.NumVertices(); v++ {
 		for _, a := range g.Attrs(graph.VertexID(v)) {
@@ -170,7 +170,15 @@ func FromGraph(g *graph.Graph) *DB {
 		content[a] = []graph.AttrID{graph.AttrID(a)}
 		positions[a] = intset.FromSorted(posBuf[a]) // built in ascending v order
 	}
-	return build(g, st, content, positions)
+	return content, positions
+}
+
+// FromGraph builds the single-core-value inverted database of g: one coreset
+// per attribute value, one initial line per (core value, leaf value) pair
+// with the core-vertex positions where they are adjacent (paper Fig. 2).
+func FromGraph(g *graph.Graph) *DB {
+	content, positions := SingleValueCoresets(g)
+	return build(g, mdl.NewStandardTable(g), content, positions, nil)
 }
 
 // FromGraphWithCoresets builds the multi-value-coreset inverted database:
@@ -181,10 +189,14 @@ func FromGraphWithCoresets(g *graph.Graph, coresets [][]graph.AttrID, positions 
 		return nil, fmt.Errorf("invdb: %d coresets but %d position sets", len(coresets), len(positions))
 	}
 	st := mdl.NewStandardTable(g)
-	return build(g, st, coresets, positions), nil
+	return build(g, st, coresets, positions, nil), nil
 }
 
-func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, positions []intset.Set) *DB {
+// build assembles a DB from coreset contents and their firing positions.
+// Positions are line-local vertex ids; globalOf maps them back to g's vertex
+// ids for adjacency lookups (nil = identity, the unsharded case). The shard
+// constructors pass a remapping so position sets stay dense per shard.
+func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, positions []intset.Set, globalOf []graph.VertexID) *DB {
 	db := &DB{
 		st:          st,
 		coreContent: content,
@@ -205,6 +217,9 @@ func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, posi
 	for c := range content {
 		for _, vv := range db.corePos[c] {
 			v := graph.VertexID(vv)
+			if globalOf != nil {
+				v = globalOf[vv]
+			}
 			for _, u := range g.Neighbors(v) {
 				for _, l := range g.Attrs(u) {
 					key := uint64(c)<<32 | uint64(uint32(l))

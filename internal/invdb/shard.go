@@ -1,0 +1,233 @@
+// Sharded construction and canonical description-length accounting (see
+// DESIGN.md "Sharded mining"). A shard database is a slice of the global
+// inverted database: it keeps the GLOBAL attribute-id coreset space and the
+// GLOBAL standard table — both are part of the gain function, so sharing
+// them is what makes per-shard gains bit-identical to the global ones — but
+// remaps its vertices to a dense local id space so position sets stay small.
+//
+// Canonical DL functions compute description lengths as pure functions of
+// the line multiset, summing in a fixed (coreset id, leafset content) order.
+// They exist because the DB's incremental accumulators depend on the float
+// operation order of the merge history: two searches that reach the same
+// final database through differently interleaved merges (a sharded run vs. a
+// monolithic one) agree on every term but not necessarily on the last bits
+// of the running sums. Reporting through the canonical order instead makes
+// "bit-identical models" a meaningful contract across shard counts.
+package invdb
+
+import (
+	"sort"
+
+	"cspm/internal/graph"
+	"cspm/internal/intset"
+	"cspm/internal/mdl"
+)
+
+// FromGraphShard builds the inverted database of the shard owning verts
+// (sorted ascending global vertex ids), using the provided standard table —
+// typically the GLOBAL table, which shard gains must price against. Line
+// positions are local indexes into verts; only shard vertices generate
+// lines, but leafsets are drawn from the GLOBAL adjacency, so boundary
+// vertices of an edge-cut shard contribute their attribute values to their
+// neighbours' lines without being replicated into the shard.
+func FromGraphShard(g *graph.Graph, st *mdl.StandardTable, verts []graph.VertexID) *DB {
+	nA := g.NumAttrValues()
+	content := make([][]graph.AttrID, nA)
+	posBuf := make([][]uint32, nA)
+	for li, gv := range verts {
+		for _, a := range g.Attrs(gv) {
+			posBuf[a] = append(posBuf[a], uint32(li)) // ascending li: verts is sorted
+		}
+	}
+	positions := make([]intset.Set, nA)
+	for a := 0; a < nA; a++ {
+		content[a] = []graph.AttrID{graph.AttrID(a)}
+		positions[a] = intset.FromSorted(posBuf[a])
+	}
+	return build(g, st, content, positions, verts)
+}
+
+// LineStat is the DL-relevant skeleton of one line: its coreset, leafset
+// content, and frequency. Stats are exchanged between shards and the merge
+// step, so they carry contents (global attribute ids), never shard-local
+// leafset ids.
+type LineStat struct {
+	Core CoresetID
+	Leaf []graph.AttrID
+	FL   int
+}
+
+// AppendLineStats appends one LineStat per live line to dst and returns it.
+// Leaf slices alias the leafset table: callers must treat them as read-only.
+func (db *DB) AppendLineStats(dst []LineStat) []LineStat {
+	for c := range db.byCore {
+		ix := &db.byCore[c]
+		for i, ln := range ix.lines {
+			dst = append(dst, LineStat{Core: CoresetID(c), Leaf: db.leafsets.Values(ix.ids[i]), FL: ln.FL()})
+		}
+	}
+	return dst
+}
+
+// NormalizeLineStats returns a copy of stats sorted into the canonical
+// (coreset id, leafset content) order with duplicate (core, leaf) entries
+// folded by summing their frequencies — duplicates arise when edge-cut
+// shards split one global line's positions. The input is left untouched, so
+// passing the same slice through several canonical computations is safe.
+// The result is a pure function of the input multiset.
+func NormalizeLineStats(stats []LineStat) []LineStat {
+	stats = append([]LineStat(nil), stats...)
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Core != stats[j].Core {
+			return stats[i].Core < stats[j].Core
+		}
+		return graph.CompareAttrs(stats[i].Leaf, stats[j].Leaf) < 0
+	})
+	out := stats[:0]
+	for _, s := range stats {
+		if n := len(out); n > 0 && out[n-1].Core == s.Core && graph.CompareAttrs(out[n-1].Leaf, s.Leaf) == 0 {
+			out[n-1].FL += s.FL
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// CanonicalDL computes the data and model description lengths of a line
+// multiset in the canonical order. coreCode prices a line's coreset pointer
+// (L(Code_c), Eq. 5); st prices leafset spell-outs. The integer frequencies
+// f_c are derived from the stats themselves, so the result is a pure
+// function of (st, coreCode, multiset) — independent of how many shards the
+// lines came from or in which order their merges were applied.
+func CanonicalDL(st *mdl.StandardTable, coreCode func(CoresetID) float64, stats []LineStat) (data, model float64) {
+	return canonicalDL(st, coreCode, NormalizeLineStats(stats))
+}
+
+// canonicalDL is CanonicalDL over already-normalized stats.
+func canonicalDL(st *mdl.StandardTable, coreCode func(CoresetID) float64, stats []LineStat) (data, model float64) {
+	for i := 0; i < len(stats); {
+		c := stats[i].Core
+		j := i
+		fc := 0
+		for ; j < len(stats) && stats[j].Core == c; j++ {
+			fc += stats[j].FL
+		}
+		data += mdl.XLogX(float64(fc))
+		for k := i; k < j; k++ {
+			data -= mdl.XLogX(float64(stats[k].FL))
+			model += coreCode(c)
+		}
+		i = j
+	}
+	// Spell-out: every distinct leafset once, in ascending content order.
+	leafs := make([][]graph.AttrID, 0, len(stats))
+	for _, s := range stats {
+		leafs = append(leafs, s.Leaf)
+	}
+	sort.Slice(leafs, func(i, j int) bool { return graph.CompareAttrs(leafs[i], leafs[j]) < 0 })
+	for i, lf := range leafs {
+		if i > 0 && graph.CompareAttrs(leafs[i-1], lf) == 0 {
+			continue
+		}
+		model += st.SetLen(lf)
+	}
+	return data, model
+}
+
+// CanonicalCondEntropy computes H(Y|X) (Eq. 7) over a line multiset in the
+// canonical order.
+func CanonicalCondEntropy(stats []LineStat) float64 {
+	return canonicalCondEntropy(NormalizeLineStats(stats))
+}
+
+// canonicalCondEntropy is CanonicalCondEntropy over already-normalized stats.
+func canonicalCondEntropy(stats []LineStat) float64 {
+	pairs := make([][2]int, 0, len(stats))
+	for i := 0; i < len(stats); {
+		c := stats[i].Core
+		j := i
+		fc := 0
+		for ; j < len(stats) && stats[j].Core == c; j++ {
+			fc += stats[j].FL
+		}
+		for k := i; k < j; k++ {
+			pairs = append(pairs, [2]int{stats[k].FL, fc})
+		}
+		i = j
+	}
+	return mdl.CondEntropy(pairs)
+}
+
+// CanonicalSummary normalizes a line multiset once and returns its canonical
+// data/model description lengths together with its conditional entropy — the
+// bundle model extraction reports.
+func CanonicalSummary(st *mdl.StandardTable, coreCode func(CoresetID) float64, stats []LineStat) (data, model, condEntropy float64) {
+	norm := NormalizeLineStats(stats)
+	data, model = canonicalDL(st, coreCode, norm)
+	return data, model, canonicalCondEntropy(norm)
+}
+
+// CanonicalDL reports the DB's current description lengths through the
+// canonical summation order (same totals as DataDL/ModelDL up to float
+// association; bit-stable across merge interleavings).
+func (db *DB) CanonicalDL() (data, model float64) {
+	return CanonicalDL(db.st, db.CoreCodeLen, db.AppendLineStats(nil))
+}
+
+// RawLine is one line of an explicit line set: coreset, leafset content
+// (sorted global attribute ids) and global position set. It is the exchange
+// format of the edge-cut merge step, which reassembles a global database
+// from per-shard mined lines.
+type RawLine struct {
+	Core CoresetID
+	Leaf []graph.AttrID
+	Pos  intset.Set
+}
+
+// FromLineSet reconstructs a DB around an explicit line set. coreContent and
+// corePos describe the full coreset space (global ids); lines' leafsets are
+// interned in canonical (core, leaf) order so ids — and every downstream
+// tie-break — are a pure function of the input. Duplicate (core, leaf)
+// entries (edge-cut shards splitting one line) are folded by position union.
+// The DB's BaselineDL freezes at the reconstructed state; callers tracking a
+// pre-merge baseline must carry it separately.
+func FromLineSet(st *mdl.StandardTable, coreContent [][]graph.AttrID, corePos []intset.Set, lines []RawLine) *DB {
+	db := &DB{
+		st:          st,
+		coreContent: coreContent,
+		coreCode:    make([]float64, len(coreContent)),
+		corePos:     corePos,
+		coreFreq:    make([]int, len(coreContent)),
+		leafsets:    NewLeafsetTable(),
+		byCore:      make([]lineIndex[LeafsetID], len(coreContent)),
+		byLeaf:      make(map[LeafsetID]*lineIndex[CoresetID]),
+		scratch:     NewEvalScratch(),
+	}
+	for c := range coreContent {
+		db.coreCode[c] = st.SetLen(coreContent[c])
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Core != lines[j].Core {
+			return lines[i].Core < lines[j].Core
+		}
+		return graph.CompareAttrs(lines[i].Leaf, lines[j].Leaf) < 0
+	})
+	for i := 0; i < len(lines); {
+		ln := lines[i]
+		pos := ln.Pos
+		j := i + 1
+		for ; j < len(lines) && lines[j].Core == ln.Core && graph.CompareAttrs(lines[j].Leaf, ln.Leaf) == 0; j++ {
+			pos = pos.Union(lines[j].Pos)
+		}
+		i = j
+		if pos.Len() == 0 {
+			continue
+		}
+		ls := db.leafsets.Intern(append([]graph.AttrID(nil), ln.Leaf...))
+		db.insertLine(&Line{Core: ln.Core, Leaf: ls, Pos: pos})
+	}
+	db.dataDL, db.modelDL = db.recomputeDL()
+	db.baseDL = db.dataDL + db.modelDL
+	return db
+}

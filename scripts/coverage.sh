@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Combined statement-coverage gate for the mining core. Runs the full test
+# suite with -coverpkg over internal/cspm + internal/invdb and fails when the
+# combined percentage drops below the gate (default set to the level the
+# sharded-mining PR established, minus a small buffer for line-count churn).
+#
+#   scripts/coverage.sh          # gate at the default threshold
+#   scripts/coverage.sh 90.0     # custom threshold
+set -eu
+cd "$(dirname "$0")/.."
+THRESHOLD="${1:-93.0}"
+# Keep the test output: on failure it is the only diagnostic; on success the
+# per-package coverage lines double as a breakdown.
+go test -count=1 -coverprofile=coverage.out \
+  -coverpkg=cspm/internal/cspm,cspm/internal/invdb ./...
+TOTAL=$(go tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')
+echo "combined internal/cspm + internal/invdb coverage: ${TOTAL}% (gate: ${THRESHOLD}%)"
+if ! awk -v t="$TOTAL" -v g="$THRESHOLD" 'BEGIN { exit (t + 0 >= g + 0) ? 0 : 1 }'; then
+  echo "coverage ${TOTAL}% fell below the ${THRESHOLD}% gate" >&2
+  exit 1
+fi
