@@ -308,6 +308,66 @@ func BenchmarkSharded_EdgeCut_USFlight_S4W8(b *testing.B) {
 	b.ReportMetric(refine, "refinement-bits")
 }
 
+// --- Shard-result cache (DESIGN.md "Shard-result cache") --------------------
+// The incremental re-mining scenario of BENCH_3.json: rewire one of twelve
+// islands (≈8% of the components) and mine the mutated graph. The Cold row
+// re-mines everything through MineSharded; the WarmIncremental row serves
+// the eleven clean islands from a cache warmed on the base graph and
+// re-mines only the dirty one; WarmFull is the all-hits replay floor. Each
+// iteration mutates to an edge seed the cache has never seen (graph
+// generation runs off the clock), so the warm row always pays one real
+// shard search and the Cold/WarmIncremental ratio is the incremental win.
+
+func cacheBenchOpts() cspm.Options {
+	return cspm.Options{Shards: 4, Workers: shardedBenchWorkers}
+}
+
+// cacheBenchVariant mutates island 0 of the BenchIslands archipelago to the
+// i-th fresh edge seed; attributes — and with them the vocabulary and the
+// global standard table — are identical across variants.
+func cacheBenchVariant(i int) *cspm.Graph {
+	return dataset.IslandsWithEdgeSeeds(dataset.BenchIslands(), []int64{1_000_000 + int64(i)})
+}
+
+func BenchmarkCache_ColdSharded_S4W8(b *testing.B) {
+	var m *cspm.Model
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := cacheBenchVariant(i)
+		b.StartTimer()
+		m = cspm.MineSharded(g, cacheBenchOpts())
+	}
+	b.ReportMetric(float64(m.ShardCount), "shards")
+}
+
+func BenchmarkCache_WarmIncremental_S4W8(b *testing.B) {
+	cache := cspm.NewShardCache(64)
+	base := dataset.IslandsWithEdgeSeeds(dataset.BenchIslands(), nil)
+	cspm.MineShardedCached(base, cacheBenchOpts(), cache)
+	b.ResetTimer()
+	var m *cspm.Model
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := cacheBenchVariant(i)
+		b.StartTimer()
+		m = cspm.MineShardedCached(g, cacheBenchOpts(), cache)
+	}
+	b.ReportMetric(float64(m.CacheHits), "hits")
+	b.ReportMetric(float64(m.CacheMisses), "misses")
+}
+
+func BenchmarkCache_WarmFull_S4W8(b *testing.B) {
+	cache := cspm.NewShardCache(64)
+	g := dataset.IslandsWithEdgeSeeds(dataset.BenchIslands(), nil)
+	cspm.MineShardedCached(g, cacheBenchOpts(), cache)
+	b.ResetTimer()
+	var m *cspm.Model
+	for i := 0; i < b.N; i++ {
+		m = cspm.MineShardedCached(g, cacheBenchOpts(), cache)
+	}
+	b.ReportMetric(float64(m.CacheHits), "hits")
+}
+
 // --- Micro-benchmarks: mining hot paths ------------------------------------
 
 func BenchmarkMicro_MultiCoreDBLP(b *testing.B) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	cspm [-variant partial|basic] [-multicore] [-shards K] [-shard-strategy auto|components|edgecut]
-//	     [-top N] [-stats] [-multileaf] graph.txt
+//	     [-cache] [-cache-dir DIR] [-top N] [-stats] [-multileaf] graph.txt
 //
 // The input format is line oriented: "v <id> <value>..." declares vertex
 // attributes, "e <u> <v>" an undirected edge, "#" starts a comment. With
@@ -28,6 +28,8 @@ func main() {
 	flag.BoolVar(&cfg.MultiOnly, "multileaf", false, "print only patterns with ≥2 leaf values")
 	flag.IntVar(&cfg.Shards, "shards", 0, "mine with this many concurrent shards (0/1 = unsharded)")
 	flag.StringVar(&cfg.ShardStrategy, "shard-strategy", "auto", "shard partitioning: auto, components or edgecut")
+	flag.BoolVar(&cfg.Cache, "cache", false, "mine incrementally through a shard-result cache")
+	flag.StringVar(&cfg.CacheDir, "cache-dir", "", "persist shard results under this directory (implies -cache)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cspm [flags] graph.txt (or - for stdin)")

@@ -31,6 +31,7 @@ import (
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
 	"cspm/internal/krimp"
+	"cspm/internal/shardcache"
 	"cspm/internal/slim"
 	"cspm/internal/tensor"
 )
@@ -114,6 +115,50 @@ func MineWithOptions(g *Graph, opts Options) *Model {
 // Options.ShardStrategy tune the partitioning.
 func MineSharded(g *Graph, opts Options) *Model {
 	return icspm.MineSharded(g, opts)
+}
+
+// Incremental mining: a fingerprint-keyed shard-result cache turns repeated
+// mining of evolving graphs into jobs that re-mine only changed components.
+type (
+	// ShardCache caches per-shard mining results keyed by component
+	// fingerprints — in-memory LRU with an optional on-disk layer.
+	ShardCache = shardcache.Cache
+	// ShardCacheStats snapshots a cache's hit/miss/eviction counters.
+	ShardCacheStats = shardcache.Stats
+	// Miner bundles options with a ShardCache for repeated cached mining.
+	Miner = icspm.Miner
+	// ComponentFingerprint is the canonical content hash of one component
+	// group (or of the graph-global attribute context).
+	ComponentFingerprint = graph.Fingerprint
+)
+
+// NewShardCache returns a memory-only shard-result cache holding at most
+// capacity entries (≤0 = unbounded).
+func NewShardCache(capacity int) *ShardCache { return shardcache.New(capacity) }
+
+// OpenShardCache returns a shard-result cache persisted under dir (one blob
+// per fingerprint, surviving process restarts and LRU evictions), creating
+// the directory if needed.
+func OpenShardCache(capacity int, dir string) (*ShardCache, error) {
+	return shardcache.Open(capacity, dir)
+}
+
+// MineShardedCached mines g like MineSharded's component strategy but
+// replays component groups whose fingerprints hit in cache, re-mining only
+// dirty groups. The result is bit-identical to Mine(g) for every cache
+// state (with MineSharded's caveat that Options.MaxIterations caps each
+// group independently rather than globally); Model.CacheHits/CacheMisses
+// report what the run reused. A nil cache mines through a private
+// ephemeral cache — same results, no reuse across calls.
+func MineShardedCached(g *Graph, opts Options, cache *ShardCache) *Model {
+	return icspm.MineShardedCached(g, opts, cache)
+}
+
+// NewMiner validates opts and returns a Miner whose Mine method runs
+// MineShardedCached over a persistent cache (nil = fresh unbounded
+// in-memory cache).
+func NewMiner(opts Options, cache *ShardCache) (*Miner, error) {
+	return icspm.NewMiner(opts, cache)
 }
 
 // MineMultiCore runs the §IV-F general mode: multi-value coresets are first

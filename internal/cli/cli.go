@@ -14,6 +14,7 @@ import (
 	"cspm/internal/dataset"
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
+	"cspm/internal/shardcache"
 	"cspm/internal/slim"
 )
 
@@ -31,6 +32,14 @@ type MineConfig struct {
 	// Incompatible with MultiCore.
 	Shards        int
 	ShardStrategy string
+	// Cache mines through cspm.MineShardedCached with a shard-result cache
+	// (in-memory unless CacheDir names a directory to persist shard blobs
+	// under; CacheDir implies Cache). A single cspm invocation only benefits
+	// with CacheDir, where warm entries survive across runs. Incompatible
+	// with MultiCore and with the edgecut shard strategy (cached mining is
+	// component-grained).
+	Cache    bool
+	CacheDir string
 }
 
 // parseShardStrategy maps the flag spelling to the miner's constant.
@@ -50,9 +59,10 @@ func parseShardStrategy(s string) (cspm.ShardStrategy, error) {
 // Mine reads a graph from r, mines it per cfg, and writes the ranked
 // patterns to w.
 func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
-	// Validate flag spellings before touching the (possibly huge) input —
-	// even for runs that end up unsharded — so typos surface as instant
-	// usage errors, never as silent behaviour changes or panics.
+	// Validate EVERY option — flag spellings, ranges, combinations, and the
+	// cache directory — before touching the (possibly huge) input, so typos
+	// surface as instant usage errors, never as silent behaviour changes,
+	// panics, or errors minutes into a graph load.
 	strategy, err := parseShardStrategy(cfg.ShardStrategy)
 	if err != nil {
 		return err
@@ -65,9 +75,19 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 	default:
 		return fmt.Errorf("unknown variant %q (want partial or basic)", cfg.Variant)
 	}
+	if cfg.Top < 0 {
+		return fmt.Errorf("-top must be >= 0, got %d", cfg.Top)
+	}
 	sharded := cfg.Shards > 1 || strategy != cspm.ShardAuto
 	if sharded && cfg.MultiCore {
 		return fmt.Errorf("-multicore cannot be combined with sharded mining (multi-value coresets are mined globally)")
+	}
+	cached := cfg.Cache || cfg.CacheDir != ""
+	if cached && cfg.MultiCore {
+		return fmt.Errorf("-multicore cannot be combined with the shard cache (multi-value coresets are mined globally)")
+	}
+	if cached && strategy == cspm.ShardEdgeCut {
+		return fmt.Errorf("-shard-strategy edgecut cannot be combined with the shard cache (cached mining is component-grained)")
 	}
 	shardOpts := cspm.Options{
 		Variant: variant, CollectStats: true,
@@ -76,12 +96,25 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 	if err := shardOpts.Validate(); err != nil {
 		return err
 	}
+	var cache *shardcache.Cache
+	if cached {
+		if cfg.CacheDir != "" {
+			cache, err = shardcache.Open(0, cfg.CacheDir)
+			if err != nil {
+				return err
+			}
+		} else {
+			cache = shardcache.New(0)
+		}
+	}
 	g, err := graph.Load(r)
 	if err != nil {
 		return err
 	}
 	var model *cspm.Model
 	switch {
+	case cached:
+		model = cspm.MineShardedCached(g, shardOpts, cache)
 	case sharded:
 		model = cspm.MineSharded(g, shardOpts)
 	case cfg.MultiCore:
@@ -104,6 +137,10 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 		fmt.Fprintf(w, "# iterations: %d, gain evaluations: %d\n", model.Iterations, model.GainEvals)
 		if model.ShardCount > 0 {
 			fmt.Fprintf(w, "# shards: %d, refinement gain: %.1f bits\n", model.ShardCount, model.RefinementGain)
+		}
+		if model.CacheHits+model.CacheMisses > 0 {
+			fmt.Fprintf(w, "# cache: %d hits, %d misses, %d evictions\n",
+				model.CacheHits, model.CacheMisses, model.CacheEvictions)
 		}
 	}
 	patterns := model.Patterns

@@ -115,6 +115,76 @@ func TestMineSharded(t *testing.T) {
 	}
 }
 
+func TestMineCached(t *testing.T) {
+	var uncached, cached bytes.Buffer
+	if err := Mine(strings.NewReader(twoIslandText), &uncached, MineConfig{Stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Mine(strings.NewReader(twoIslandText), &cached, MineConfig{Stats: true, CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cached.String(), "misses") {
+		t.Fatalf("cache stats line missing:\n%s", cached.String())
+	}
+	// Second run over the same directory must be fully warm and otherwise
+	// print exactly the uncached output (cached mining is bit-exact).
+	var warm bytes.Buffer
+	if err := Mine(strings.NewReader(twoIslandText), &warm, MineConfig{Stats: true, CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "# cache: 2 hits, 0 misses") {
+		t.Fatalf("warm run not served from cache:\n%s", warm.String())
+	}
+	strip := func(s string) string {
+		var keep []string
+		for _, ln := range strings.Split(s, "\n") {
+			// The iterations line also goes: its gain-evaluation count
+			// legitimately varies with shard interleaving (see the sharded
+			// exactness probe in the verify notes).
+			if strings.HasPrefix(ln, "# shards:") || strings.HasPrefix(ln, "# cache:") ||
+				strings.HasPrefix(ln, "# iterations:") {
+				continue
+			}
+			keep = append(keep, ln)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(warm.String()) != strip(uncached.String()) {
+		t.Fatalf("cached output diverged:\n%s\nvs\n%s", warm.String(), uncached.String())
+	}
+	// -cache without a directory also works (single-run in-memory cache).
+	if err := Mine(strings.NewReader(twoIslandText), &bytes.Buffer{}, MineConfig{Cache: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failingReader asserts option validation happens BEFORE the graph is read:
+// any Read is the failure the small-fix satellite guards against.
+type failingReader struct{ t *testing.T }
+
+func (r failingReader) Read([]byte) (int, error) {
+	r.t.Error("graph input was read before option validation finished")
+	return 0, nil
+}
+
+func TestMineValidatesBeforeLoad(t *testing.T) {
+	for _, cfg := range []MineConfig{
+		{Variant: "bogus"},
+		{ShardStrategy: "bogus"},
+		{Top: -1},
+		{Shards: -2},
+		{Cache: true, MultiCore: true},
+		{CacheDir: "/dev/null/not-a-dir", MultiCore: true}, // combination rejected before dir open
+		{Cache: true, ShardStrategy: "edgecut"},
+		{CacheDir: "/dev/null/not-a-dir"}, // unusable cache dir rejected pre-load
+	} {
+		if err := Mine(failingReader{t}, &bytes.Buffer{}, cfg); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
 func TestMineMultiCore(t *testing.T) {
 	var out bytes.Buffer
 	if err := Mine(strings.NewReader(fig1Text), &out, MineConfig{MultiCore: true}); err != nil {

@@ -84,12 +84,23 @@ type Model struct {
 	PerIter     []IterationStat
 	CondEntropy float64
 
-	// ShardCount is the number of shards a MineSharded run mined
-	// concurrently; 0 marks an unsharded run.
+	// ShardCount is the number of shard searches the run executed: the
+	// concurrent shard count of a MineSharded run, or the number of dirty
+	// component groups a MineShardedCached run re-mined (0 when every group
+	// replayed from cache — check CacheHits to tell that apart from an
+	// unsharded run, which reports 0 on all three cache counters).
 	ShardCount int
 	// RefinementGain is the DL reduction realised by the sequential
 	// refinement pass of the edge-cut shard strategy (0 elsewhere).
 	RefinementGain float64
+
+	// CacheHits/CacheMisses count the component groups a MineShardedCached
+	// run replayed from, respectively re-mined into, its shard cache (both 0
+	// in uncached runs). CacheEvictions counts cache entries the run's
+	// stores pushed out of memory.
+	CacheHits      int
+	CacheMisses    int
+	CacheEvictions int
 }
 
 // CompressionRatio is FinalDL/BaselineDL; lower is better.

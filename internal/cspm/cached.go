@@ -1,0 +1,204 @@
+package cspm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"runtime"
+
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+	"cspm/internal/mdl"
+	"cspm/internal/shardcache"
+)
+
+// cachedSearchVersion stamps the search fingerprint with the mining
+// algorithm's result format. Bump it whenever a change makes the search
+// produce different results for the same (graph, options) — a gain-formula
+// fix, a tie-break change, a new Options field that shapes results — so
+// persistent caches written by older binaries invalidate instead of
+// replaying stale models.
+const cachedSearchVersion = 1
+
+// searchFingerprint digests the options that change what a shard search
+// produces — the variant, the per-shard iteration cap, and the model-cost
+// ablation — so results mined under one configuration are never replayed
+// into another. Workers and Shards only change scheduling (results are
+// bit-identical by the determinism contract) and CollectStats only controls
+// diagnostics, so they deliberately stay out of the key.
+func searchFingerprint(opts Options) graph.Fingerprint {
+	var buf [18]byte
+	buf[0] = cachedSearchVersion
+	binary.LittleEndian.PutUint64(buf[1:], uint64(opts.Variant))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(opts.MaxIterations))
+	if opts.DisableModelCost {
+		buf[17] = 1
+	}
+	return sha256.Sum256(buf[:])
+}
+
+// MineShardedCached mines g by attribute-closed component groups like
+// MineSharded's component strategy, but consults cache before mining: groups
+// whose fingerprint (together with the graph's global attribute context) has
+// a cached shard result are replayed from the cache, and only dirty groups
+// are re-mined. The merged model is bit-identical to Mine(g) whether every
+// group, no group, or any subset came from the cache, because patterns and
+// all reported description lengths are pure functions of the per-group line
+// multisets the cache stores (see DESIGN.md "Shard-result cache").
+//
+// Options.Shards bounds how many dirty groups mine concurrently (0 = all
+// cores) and Options.Workers is the total evaluation budget, exactly as in
+// MineSharded. Options.MaxIterations caps each group's merges independently
+// — like MineSharded and unlike Mine's single global cap, so capped runs
+// match MineSharded, not Mine. Options.ShardStrategy is ignored: cached
+// mining is always component-grained (the edge-cut strategy has no stable
+// per-group unit to key). A nil cache mines through a private ephemeral
+// cache, so the result contract is identical — only the reuse is lost. It
+// panics if opts fails Validate.
+func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *Model {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	if cache == nil {
+		cache = shardcache.New(0)
+	}
+	groups := graph.AttrClosedComponents(g)
+	fps := groups.Fingerprints(g)
+	global := graph.GlobalFingerprint(g)
+	search := searchFingerprint(opts)
+	st := mdl.NewStandardTable(g)
+	members := groups.Members()
+
+	entries := make([]*shardcache.Entry, groups.Count)
+	fresh := make([]bool, groups.Count)
+	var dirty []int
+	for gi := 0; gi < groups.Count; gi++ {
+		if e, ok := cache.Get(shardcache.Key{Component: fps[gi], Global: global, Search: search}); ok {
+			entries[gi] = e
+		} else {
+			fresh[gi] = true
+			dirty = append(dirty, gi)
+		}
+	}
+
+	evBefore := cache.Stats().Evictions
+	shards := make([]*shardRun, len(dirty))
+	if len(dirty) > 0 {
+		// Entries must always carry the run diagnostics (a warm replay still
+		// reports Iterations), so dirty runs collect stats unconditionally;
+		// PerIter is surfaced only when the caller asked.
+		runOpts := opts
+		runOpts.CollectStats = true
+		for i, gi := range dirty {
+			shards[i] = &shardRun{verts: members[gi]}
+		}
+		k := opts.Shards
+		if k == 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		runShards(g, st, runOpts, shards, k)
+		for i, gi := range dirty {
+			sh := shards[i]
+			e := &shardcache.Entry{
+				Init: sh.init, Final: sh.final,
+				Iterations: sh.stats.iterations, GainEvals: sh.stats.gainEvals,
+			}
+			// A failed disk write only loses persistence (the in-memory copy
+			// is already stored); mining correctness is unaffected.
+			_ = cache.Put(shardcache.Key{Component: fps[gi], Global: global, Search: search}, e)
+			entries[gi] = e
+		}
+	}
+
+	m := &Model{Vocab: g.Vocab(), ShardCount: len(dirty)}
+	m.CacheHits = groups.Count - len(dirty)
+	m.CacheMisses = len(dirty)
+	m.CacheEvictions = int(cache.Stats().Evictions - evBefore)
+	var init, final []invdb.LineStat
+	for gi, e := range entries {
+		init = append(init, e.Init...)
+		final = append(final, e.Final...)
+		if !fresh[gi] {
+			// Replayed groups contribute their recorded diagnostics; fresh
+			// runs contribute theirs through appendShardStats below.
+			m.Iterations += e.Iterations
+			m.GainEvals += e.GainEvals
+		}
+	}
+	for i := range shards {
+		if !opts.CollectStats {
+			shards[i].stats.perIter = nil
+		}
+		appendShardStats(m, shards[i].stats, i, false)
+	}
+	coreCode := func(c invdb.CoresetID) float64 { return st.Len(graph.AttrID(c)) }
+	bd, bm := invdb.CanonicalDL(st, coreCode, init)
+	m.BaselineDL = bd + bm
+	fd, fm, cond := invdb.CanonicalSummary(st, coreCode, final)
+	m.FinalDL = fd + fm
+	m.CondEntropy = cond
+	m.Patterns = patternsFromStats(st, final)
+	sortPatterns(m.Patterns)
+	return m
+}
+
+// patternsFromStats derives the a-star pattern list from a final line
+// multiset — the cache-replay twin of extractPatterns. Under single-value
+// coresets every AStar field is a pure function of the stats: FC is the sum
+// of the core's line frequencies, the core code length is the standard-table
+// length of its one value, and the conditional code length follows from
+// (fL, fc) — so replayed and freshly mined groups produce identical
+// patterns, bit for bit.
+func patternsFromStats(st *mdl.StandardTable, stats []invdb.LineStat) []AStar {
+	norm := invdb.NormalizeLineStats(stats)
+	out := make([]AStar, 0, len(norm))
+	for i := 0; i < len(norm); {
+		c := norm[i].Core
+		j, fc := i, 0
+		for ; j < len(norm) && norm[j].Core == c; j++ {
+			fc += norm[j].FL
+		}
+		coreLen := st.SetLen([]graph.AttrID{graph.AttrID(c)})
+		for k := i; k < j; k++ {
+			out = append(out, AStar{
+				CoreValues: []graph.AttrID{graph.AttrID(c)},
+				// Copied, not aliased: on a cache hit norm[k].Leaf points into
+				// the long-lived cached entry, and patterns carry no read-only
+				// contract — an aliasing caller would corrupt the cache.
+				LeafValues: append([]graph.AttrID(nil), norm[k].Leaf...),
+				FL:         norm[k].FL,
+				FC:         fc,
+				CodeLen:    coreLen + mdl.CondCodeLen(norm[k].FL, fc),
+			})
+		}
+		i = j
+	}
+	return out
+}
+
+// Miner bundles mining options with a shard-result cache for repeated runs
+// over evolving graphs: each Mine call re-mines only the component groups
+// whose content changed since the cache last saw them.
+type Miner struct {
+	opts  Options
+	cache *shardcache.Cache
+}
+
+// NewMiner validates opts and returns a Miner backed by cache (nil = a fresh
+// unbounded in-memory cache).
+func NewMiner(opts Options, cache *shardcache.Cache) (*Miner, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = shardcache.New(0)
+	}
+	return &Miner{opts: opts, cache: cache}, nil
+}
+
+// Mine runs MineShardedCached over the miner's cache.
+func (mi *Miner) Mine(g *graph.Graph) *Model {
+	return MineShardedCached(g, mi.opts, mi.cache)
+}
+
+// Cache exposes the miner's shard-result cache (for stats and invalidation).
+func (mi *Miner) Cache() *shardcache.Cache { return mi.cache }

@@ -101,14 +101,24 @@ type shardRun struct {
 // worker budget: each shard search gets at least one evaluator, and a
 // semaphore caps the number of concurrently running shards so fewer workers
 // than shards degrades to bounded concurrency (Workers=1 → one shard at a
-// time) instead of oversubscribing the budget. Results are deterministic
-// regardless: each shard's search is a pure function of (graph, st, verts),
-// and all cross-shard accounting happens after the barrier in fixed shard
-// order.
-func runShards(g *graph.Graph, st *mdl.StandardTable, opts Options, shards []*shardRun) {
+// time) instead of oversubscribing the budget. maxConcurrent tightens the
+// semaphore further when positive (the cached miner runs one shard per dirty
+// component group but honours Options.Shards as its concurrency bound).
+// Results are deterministic regardless: each shard's search is a pure
+// function of (graph, st, verts), and all cross-shard accounting happens
+// after the barrier in fixed shard order.
+func runShards(g *graph.Graph, st *mdl.StandardTable, opts Options, shards []*shardRun, maxConcurrent int) {
 	workers := opts.workerCount()
-	base, extra := workers/len(shards), workers%len(shards)
 	concurrent := min(workers, len(shards))
+	if maxConcurrent > 0 {
+		concurrent = min(concurrent, maxConcurrent)
+	}
+	// Split the budget over the shards that can actually run at once, not
+	// the full shard list: with more shards than concurrency slots (the
+	// cached miner's one-run-per-dirty-group shape) a per-shard split would
+	// strand most of the budget. For MineSharded's shapes concurrent equals
+	// min(workers, len(shards)), so the split is unchanged there.
+	base, extra := workers/concurrent, workers%concurrent
 	sem := make(chan struct{}, concurrent)
 	var wg sync.WaitGroup
 	for i, sh := range shards {
@@ -182,7 +192,7 @@ func mineComponentShards(g *graph.Graph, opts Options, groups graph.Partition, k
 		slices.Sort(verts)
 		shards = append(shards, &shardRun{verts: verts})
 	}
-	runShards(g, st, opts, shards)
+	runShards(g, st, opts, shards, 0)
 
 	m := &Model{Vocab: g.Vocab(), ShardCount: len(shards)}
 	var init, final []invdb.LineStat
@@ -224,7 +234,7 @@ func mineEdgeCutShards(g *graph.Graph, opts Options, k int) *Model {
 		m.ShardCount = 1
 		return m
 	}
-	runShards(g, st, opts, shards)
+	runShards(g, st, opts, shards, 0)
 
 	// Reassemble the global database: every shard line's positions map back
 	// through verts to global vertex ids; the parts partition the vertex

@@ -45,13 +45,77 @@ func BenchIslands() IslandsConfig {
 	}
 }
 
-// Islands generates a deterministic archipelago: cfg.Islands connected
-// components in the DBLP mould (community structure, venue-like attribute
-// values skewed towards each island's own alphabet slice), with component
-// alphabets fully disjoint — island i's values are named "i<i>_v<j>". The
-// graph as a whole is disconnected by construction, standing in for the
-// multi-tenant / multi-snapshot workloads sharded mining targets.
-func Islands(cfg IslandsConfig) *graph.Graph {
+// IslandsWithEdgeSeeds generates an archipelago in the Islands mould but
+// from fully independent per-island random streams: island i's attributes
+// come from one stream derived from (cfg.Seed, i), its edges from another,
+// and the island sizes from cfg.Seed alone. Overriding island i's edge seed
+// (edgeSeeds[i] non-zero, missing/zero entries keep the default) therefore
+// regenerates only that island's edge set — every other island, and the
+// attribute assignment of every island (hence the vocabulary, the occurrence
+// counts and the global standard table), stays byte-identical. This is the
+// mutation model of the incremental-mining benchmarks and tests: rewiring
+// inside k of n components dirties exactly k component fingerprints.
+func IslandsWithEdgeSeeds(cfg IslandsConfig, edgeSeeds []int64) *graph.Graph {
+	cfg = clampIslands(cfg)
+	sizeRNG := rand.New(rand.NewSource(cfg.Seed))
+	sizes := make([]int, cfg.Islands)
+	total := 0
+	for i := range sizes {
+		sizes[i] = cfg.MinNodes + sizeRNG.Intn(cfg.MaxNodes-cfg.MinNodes+1)
+		total += sizes[i]
+	}
+	b := graph.NewBuilder(total)
+	base := 0
+	for i, n := range sizes {
+		attrRNG := rand.New(rand.NewSource(cfg.Seed + 1_000_003*int64(i+1)))
+		edgeSeed := cfg.Seed + 2_000_003*int64(i+1)
+		if i < len(edgeSeeds) && edgeSeeds[i] != 0 {
+			edgeSeed = edgeSeeds[i]
+		}
+		buildIsland(b, cfg, i, base, n, attrRNG, rand.New(rand.NewSource(edgeSeed)))
+		base += n
+	}
+	return b.Build()
+}
+
+// buildIsland adds island i's attributes and edges to b at vertex offset
+// base. attrRNG and edgeRNG may be the same stream (Islands' single
+// interleaved stream — attributes draw first, then edges, so the draw order
+// is unchanged) or two independent per-island streams (IslandsWithEdgeSeeds).
+func buildIsland(b *graph.Builder, cfg IslandsConfig, i, base, n int, attrRNG, edgeRNG *rand.Rand) {
+	names := make([]string, cfg.AttrsPerIsland)
+	for j := range names {
+		names[j] = fmt.Sprintf("i%d_v%d", i, j)
+	}
+	// Attributes: Zipf-ish skew towards low indexes plants the frequent
+	// co-occurring values CSPM compresses.
+	for v := 0; v < n; v++ {
+		gv := graph.VertexID(base + v)
+		k := 1 + attrRNG.Intn(2*cfg.AttrsPerNode-1)
+		for j := 0; j < k; j++ {
+			idx := attrRNG.Intn(cfg.AttrsPerIsland)
+			if attrRNG.Float64() < 0.6 {
+				idx = attrRNG.Intn(1 + cfg.AttrsPerIsland/3)
+			}
+			_ = b.AddAttr(gv, names[idx])
+		}
+	}
+	// Spanning tree keeps the island connected; extra edges add the star
+	// overlap.
+	for v := 1; v < n; v++ {
+		_ = b.AddEdge(graph.VertexID(base+v), graph.VertexID(base+edgeRNG.Intn(v)))
+	}
+	for e := 0; e < int(cfg.ExtraEdges*float64(n)); e++ {
+		u := graph.VertexID(base + edgeRNG.Intn(n))
+		v := graph.VertexID(base + edgeRNG.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+}
+
+// clampIslands applies Islands' parameter floors.
+func clampIslands(cfg IslandsConfig) IslandsConfig {
 	if cfg.Islands < 1 {
 		cfg.Islands = 1
 	}
@@ -67,6 +131,17 @@ func Islands(cfg IslandsConfig) *graph.Graph {
 	if cfg.AttrsPerNode < 1 {
 		cfg.AttrsPerNode = 1
 	}
+	return cfg
+}
+
+// Islands generates a deterministic archipelago: cfg.Islands connected
+// components in the DBLP mould (community structure, venue-like attribute
+// values skewed towards each island's own alphabet slice), with component
+// alphabets fully disjoint — island i's values are named "i<i>_v<j>". The
+// graph as a whole is disconnected by construction, standing in for the
+// multi-tenant / multi-snapshot workloads sharded mining targets.
+func Islands(cfg IslandsConfig) *graph.Graph {
+	cfg = clampIslands(cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sizes := make([]int, cfg.Islands)
 	total := 0
@@ -77,35 +152,7 @@ func Islands(cfg IslandsConfig) *graph.Graph {
 	b := graph.NewBuilder(total)
 	base := 0
 	for i, n := range sizes {
-		names := make([]string, cfg.AttrsPerIsland)
-		for j := range names {
-			names[j] = fmt.Sprintf("i%d_v%d", i, j)
-		}
-		// Attributes: Zipf-ish skew towards low indexes plants the frequent
-		// co-occurring values CSPM compresses.
-		for v := 0; v < n; v++ {
-			gv := graph.VertexID(base + v)
-			k := 1 + rng.Intn(2*cfg.AttrsPerNode-1)
-			for j := 0; j < k; j++ {
-				idx := rng.Intn(cfg.AttrsPerIsland)
-				if rng.Float64() < 0.6 {
-					idx = rng.Intn(1 + cfg.AttrsPerIsland/3)
-				}
-				_ = b.AddAttr(gv, names[idx])
-			}
-		}
-		// Spanning tree keeps the island connected; extra edges add the
-		// star overlap.
-		for v := 1; v < n; v++ {
-			_ = b.AddEdge(graph.VertexID(base+v), graph.VertexID(base+rng.Intn(v)))
-		}
-		for e := 0; e < int(cfg.ExtraEdges*float64(n)); e++ {
-			u := graph.VertexID(base + rng.Intn(n))
-			v := graph.VertexID(base + rng.Intn(n))
-			if u != v {
-				_ = b.AddEdge(u, v)
-			}
-		}
+		buildIsland(b, cfg, i, base, n, rng, rng)
 		base += n
 	}
 	return b.Build()

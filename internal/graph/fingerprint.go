@@ -1,0 +1,122 @@
+// Canonical content fingerprints for incremental mining (see DESIGN.md
+// "Shard-result cache"). A fingerprint summarises everything a shard search
+// reads from its vertex group — remapped vertex ids, edges, and attribute
+// content — so equal fingerprints mean the group would mine to the same
+// result under the same global attribute context. Fingerprints are content
+// hashes, not isomorphism certificates: a group keeps its fingerprint when
+// it is translated to a different global id range or when attribute values
+// are interned in a different order, but relabeling vertices *within* the
+// group is a different content and hashes differently.
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint is a 256-bit canonical content hash, usable as a map key.
+type Fingerprint [32]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// fpHasher accumulates the length-prefixed canonical byte stream of one
+// fingerprint. All integers are uvarint-encoded and every variable-length
+// field is count-prefixed, so the stream is prefix-free and two different
+// canonical forms can never collide byte-wise.
+type fpHasher struct {
+	buf  []byte
+	name []string // scratch for per-vertex sorted attribute names
+}
+
+func (h *fpHasher) uvarint(x uint64) { h.buf = binary.AppendUvarint(h.buf, x) }
+func (h *fpHasher) str(s string) {
+	h.uvarint(uint64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+func (h *fpHasher) sum() Fingerprint { return sha256.Sum256(h.buf) }
+
+// Fingerprints computes the canonical fingerprint of every group of p, in
+// group-id order. The canonical form remaps each group's vertices to local
+// ids 0..n-1 in ascending global-id order — the same remapping the shard
+// database construction uses — and spells attribute values by NAME in
+// lexicographic order, so the hash is independent of where the group sits in
+// the global vertex-id space and of the order attribute values were interned.
+// Neighbours of a group vertex always belong to the group (groups are unions
+// of connected components), so the group's edge set is self-contained.
+func (p Partition) Fingerprints(g *Graph) []Fingerprint {
+	members := p.Members()
+	local := make([]uint32, g.NumVertices())
+	for _, verts := range members {
+		for li, v := range verts {
+			local[v] = uint32(li)
+		}
+	}
+	out := make([]Fingerprint, p.Count)
+	h := &fpHasher{}
+	for gi, verts := range members {
+		h.buf = h.buf[:0]
+		h.uvarint(uint64(len(verts)))
+		// Attribute section: per vertex in local order, the sorted value names.
+		for _, v := range verts {
+			attrs := g.attrs[v]
+			names := h.name[:0]
+			for _, a := range attrs {
+				names = append(names, g.vocab.Name(a))
+			}
+			h.name = names
+			sort.Strings(names)
+			h.uvarint(uint64(len(names)))
+			for _, nm := range names {
+				h.str(nm)
+			}
+		}
+		// Edge section: per vertex in local order, the forward neighbours as
+		// local ids. Adjacency lists are sorted by global id and the remap is
+		// monotone, so the local ids stream out ascending deterministically.
+		for _, v := range verts {
+			adj := g.adj[v]
+			fwd := 0
+			for _, u := range adj {
+				if u > v {
+					fwd++
+				}
+			}
+			h.uvarint(uint64(fwd))
+			for _, u := range adj {
+				if u > v {
+					h.uvarint(uint64(local[u]))
+				}
+			}
+		}
+		out[gi] = h.sum()
+	}
+	return out
+}
+
+// GlobalFingerprint hashes the graph-global attribute context a cached shard
+// result is priced under: the interned vocabulary in id order and each
+// value's total occurrence count. The standard table — and with it every gain
+// and code length — is a pure function of these counts, and cached line
+// stats store interned AttrIDs, so a cache entry is valid exactly when this
+// fingerprint matches: any new value, renamed value, changed interning order
+// or shifted occurrence count invalidates every entry, which is the sound
+// default for a content-addressed cache.
+func GlobalFingerprint(g *Graph) Fingerprint {
+	nA := g.NumAttrValues()
+	freq := make([]uint64, nA)
+	for v := range g.attrs {
+		for _, a := range g.attrs[v] {
+			freq[a]++
+		}
+	}
+	h := &fpHasher{}
+	h.uvarint(uint64(nA))
+	for id := 0; id < nA; id++ {
+		h.str(g.vocab.Name(AttrID(id)))
+		h.uvarint(freq[id])
+	}
+	return h.sum()
+}

@@ -1,0 +1,204 @@
+package graph
+
+import "testing"
+
+// fpIslands builds a graph with two structurally fixed components. The
+// transform hooks permute construction order without changing content:
+// swapIslands chooses which island occupies the low vertex-id range,
+// swapInterning interns one island's values before the other's.
+func fpIslands(t *testing.T, swapIslands, swapInterning bool) *Graph {
+	t.Helper()
+	b := NewBuilder(7)
+	// Island A: triangle 0-1-2 with values x,y. Island B: path 3-4-5-6 with
+	// values p,q,r. Offsets move when swapIslands is set.
+	offA, offB := VertexID(0), VertexID(3)
+	if swapIslands {
+		offA, offB = 4, 0
+	}
+	addA := func() {
+		for _, e := range [][2]VertexID{{0, 1}, {1, 2}, {0, 2}} {
+			if err := b.AddEdge(offA+e[0], offA+e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.AddAttr(offA+0, "x")
+		b.AddAttr(offA+1, "y")
+		b.AddAttr(offA+2, "x")
+		b.AddAttr(offA+2, "y")
+	}
+	addB := func() {
+		for _, e := range [][2]VertexID{{0, 1}, {1, 2}, {2, 3}} {
+			if err := b.AddEdge(offB+e[0], offB+e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.AddAttr(offB+0, "p")
+		b.AddAttr(offB+1, "q")
+		b.AddAttr(offB+2, "r")
+		b.AddAttr(offB+3, "q")
+	}
+	if swapInterning {
+		addB()
+		addA()
+	} else {
+		addA()
+		addB()
+	}
+	return b.Build()
+}
+
+// fingerprintSet collects the component-group fingerprints of g as a set.
+func fingerprintSet(g *Graph) map[Fingerprint]bool {
+	p := AttrClosedComponents(g)
+	out := make(map[Fingerprint]bool)
+	for _, f := range p.Fingerprints(g) {
+		out[f] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[Fingerprint]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f := range a {
+		if !b[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFingerprintStability pins the canonicalisation: moving a component to
+// a different global vertex-id range and interning attribute values in a
+// different order must not change its fingerprint.
+func TestFingerprintStability(t *testing.T) {
+	base := fingerprintSet(fpIslands(t, false, false))
+	if len(base) != 2 {
+		t.Fatalf("expected 2 distinct group fingerprints, got %d", len(base))
+	}
+	for _, tc := range []struct {
+		name                string
+		swapIslands, swapIn bool
+	}{
+		{"islands permuted", true, false},
+		{"interning permuted", false, true},
+		{"both permuted", true, true},
+	} {
+		if got := fingerprintSet(fpIslands(t, tc.swapIslands, tc.swapIn)); !sameSet(got, base) {
+			t.Errorf("%s: fingerprints changed", tc.name)
+		}
+	}
+}
+
+// TestFingerprintAttrOrderWithinVertex pins that the order attribute values
+// are attached to one vertex is canonicalised away (values hash sorted by
+// name, not by interned id).
+func TestFingerprintAttrOrderWithinVertex(t *testing.T) {
+	build := func(reversed bool) *Graph {
+		b := NewBuilder(2)
+		b.AddEdge(0, 1)
+		vals := []string{"alpha", "beta", "gamma"}
+		if reversed {
+			vals = []string{"gamma", "beta", "alpha"}
+		}
+		for _, v := range vals {
+			b.AddAttr(0, v)
+		}
+		b.AddAttr(1, "alpha")
+		return b.Build()
+	}
+	a, bg := build(false), build(true)
+	fa := AttrClosedComponents(a).Fingerprints(a)
+	fb := AttrClosedComponents(bg).Fingerprints(bg)
+	if fa[0] != fb[0] {
+		t.Fatal("attribute insertion order changed the fingerprint")
+	}
+}
+
+// TestFingerprintCollisions pins that every content dimension the shard
+// search reads feeds the hash: edges, attribute values, attribute
+// placement, and vertex count.
+func TestFingerprintCollisions(t *testing.T) {
+	base := func() *Builder {
+		b := NewBuilder(3)
+		b.AddEdge(0, 1)
+		b.AddEdge(1, 2)
+		b.AddAttr(0, "x")
+		b.AddAttr(1, "y")
+		b.AddAttr(2, "x")
+		return b
+	}
+	fp := func(g *Graph) Fingerprint {
+		p := AttrClosedComponents(g)
+		fps := p.Fingerprints(g)
+		if len(fps) != 1 {
+			t.Fatalf("want one group, got %d", len(fps))
+		}
+		return fps[0]
+	}
+	ref := fp(base().Build())
+
+	edge := base()
+	edge.AddEdge(0, 2)
+	if fp(edge.Build()) == ref {
+		t.Error("extra edge did not change the fingerprint")
+	}
+
+	attr := base()
+	attr.AddAttr(2, "y")
+	if fp(attr.Build()) == ref {
+		t.Error("extra attribute value did not change the fingerprint")
+	}
+
+	moved := NewBuilder(3) // same values, different placement
+	moved.AddEdge(0, 1)
+	moved.AddEdge(1, 2)
+	moved.AddAttr(0, "x")
+	moved.AddAttr(1, "x")
+	moved.AddAttr(2, "y")
+	if fp(moved.Build()) == ref {
+		t.Error("moving attribute values between vertices did not change the fingerprint")
+	}
+}
+
+// TestGlobalFingerprint pins the invalidation contract of the global half of
+// the cache key: interning order, occurrence counts, value names and value
+// set all feed it — exactly the inputs the standard table and the interned
+// line stats depend on.
+func TestGlobalFingerprint(t *testing.T) {
+	build := func(mutate func(*Builder)) Fingerprint {
+		b := NewBuilder(3)
+		b.AddEdge(0, 1)
+		b.AddEdge(1, 2)
+		b.AddAttr(0, "x")
+		b.AddAttr(1, "y")
+		b.AddAttr(2, "x")
+		if mutate != nil {
+			mutate(b)
+		}
+		return GlobalFingerprint(b.Build())
+	}
+	ref := build(nil)
+	if build(nil) != ref {
+		t.Fatal("global fingerprint is not deterministic")
+	}
+	if build(func(b *Builder) { b.AddAttr(2, "y") }) == ref {
+		t.Error("changed occurrence counts kept the global fingerprint")
+	}
+	if build(func(b *Builder) { b.AddAttr(2, "z") }) == ref {
+		t.Error("a new value kept the global fingerprint")
+	}
+
+	// Different interning order must invalidate: cached line stats store
+	// interned ids, which a permuted vocabulary would misread.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddAttr(1, "y") // interns y before x
+	b.AddAttr(0, "x")
+	b.AddAttr(2, "x")
+	if GlobalFingerprint(b.Build()) == ref {
+		t.Error("permuted interning order kept the global fingerprint")
+	}
+}

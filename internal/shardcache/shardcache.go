@@ -1,0 +1,267 @@
+// Package shardcache stores per-shard mining results keyed by content
+// fingerprints, turning repeated MineSharded runs over mostly-unchanged
+// graphs into incremental jobs that only re-mine dirty component groups (see
+// DESIGN.md "Shard-result cache").
+//
+// A cache entry holds exactly what the exact merge path consumes: the
+// shard's line stats before any merge (baseline terms) and after its search
+// (final terms), plus the run's iteration diagnostics. Both patterns and all
+// canonical description lengths are pure functions of those line multisets,
+// so replaying an entry is bit-identical to re-mining the group.
+//
+// The cache is an in-memory LRU with an optional on-disk layer: one gob blob
+// per key under a directory, written atomically, loaded back on memory
+// misses. Disk entries survive process restarts and LRU evictions, and the
+// blob format doubles as the shard-result serialization format for
+// distributed fan-out (ROADMAP "Distributed shards").
+package shardcache
+
+import (
+	"container/list"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+)
+
+// Key identifies one cached shard result: the component group's canonical
+// fingerprint, the global attribute-context fingerprint it was priced
+// under, and a digest of the search options that shape the result (variant,
+// iteration cap, ablations). Line stats store interned AttrIDs, are costed
+// against the global standard table, and depend on how the search was run,
+// so a result is reusable exactly when all three parts match.
+type Key struct {
+	Component graph.Fingerprint
+	Global    graph.Fingerprint
+	Search    graph.Fingerprint
+}
+
+// filename is the on-disk blob name of the key (192 hex chars + extension).
+func (k Key) filename() string {
+	return k.Component.String() + "-" + k.Global.String() + "-" + k.Search.String() + ".gob"
+}
+
+// Entry is one cached shard result. Callers must treat a returned entry and
+// everything it references as read-only: entries are shared across lookups.
+type Entry struct {
+	Init       []invdb.LineStat // lines before any merge
+	Final      []invdb.LineStat // lines after the shard's search
+	Iterations int              // merges the shard's search applied
+	GainEvals  int              // gain evaluations the search performed
+}
+
+// clone deep-copies e so cached state never aliases caller-owned slices
+// (AppendLineStats leaf slices alias a DB's leafset table).
+func (e *Entry) clone() *Entry {
+	cp := &Entry{Iterations: e.Iterations, GainEvals: e.GainEvals}
+	cp.Init = cloneStats(e.Init)
+	cp.Final = cloneStats(e.Final)
+	return cp
+}
+
+func cloneStats(stats []invdb.LineStat) []invdb.LineStat {
+	out := make([]invdb.LineStat, len(stats))
+	for i, s := range stats {
+		out[i] = invdb.LineStat{Core: s.Core, Leaf: append([]graph.AttrID(nil), s.Leaf...), FL: s.FL}
+	}
+	return out
+}
+
+// Stats is a snapshot of the cache's lifetime counters.
+type Stats struct {
+	Hits      uint64 // lookups served from memory or disk
+	Misses    uint64 // lookups that found nothing
+	Evictions uint64 // entries dropped from memory by the LRU bound
+	Entries   int    // entries currently resident in memory
+}
+
+// Cache is a fingerprint-keyed shard-result cache: an LRU-bounded in-memory
+// map with an optional on-disk layer. All methods are safe for concurrent
+// use; blob encode/decode and file I/O run outside the mutex, so lookups of
+// resident entries never stall behind another goroutine's disk traffic.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int        // ≤0 = unbounded memory
+	ll        *list.List // front = most recently used
+	byKey     map[Key]*list.Element
+	dir       string // "" = memory only; immutable after Open
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// lruEntry is the list payload: the key rides along so eviction can index
+// back into byKey.
+type lruEntry struct {
+	key   Key
+	entry *Entry
+}
+
+// New returns a memory-only cache holding at most capacity entries
+// (capacity ≤ 0 = unbounded).
+func New(capacity int) *Cache {
+	return &Cache{capacity: capacity, ll: list.New(), byKey: make(map[Key]*list.Element)}
+}
+
+// Open returns a cache backed by one gob blob per key under dir, creating
+// the directory if needed. Memory still holds at most capacity entries; disk
+// blobs survive evictions and process restarts.
+func Open(capacity int, dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("shardcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shardcache: %w", err)
+	}
+	c := New(capacity)
+	c.dir = dir
+	return c, nil
+}
+
+// Dir reports the on-disk directory ("" for a memory-only cache).
+func (c *Cache) Dir() string { return c.dir }
+
+// Len reports the number of entries resident in memory.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// Get returns the entry stored under k, consulting memory first and then the
+// disk layer. A disk hit is re-admitted to memory. The returned entry is
+// shared: callers must not mutate it.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*lruEntry).entry
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if e, ok := c.loadDisk(k); ok {
+			c.mu.Lock()
+			if el, raced := c.byKey[k]; raced {
+				// Another goroutine admitted the key while we read disk;
+				// prefer the resident entry so all holders share one copy.
+				c.ll.MoveToFront(el)
+				e = el.Value.(*lruEntry).entry
+			} else {
+				c.admit(k, e)
+			}
+			c.hits++
+			c.mu.Unlock()
+			return e, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a deep copy of e under k in memory (evicting LRU entries past
+// the capacity bound) and, when a directory is configured, as a gob blob on
+// disk.
+func (c *Cache) Put(k Key, e *Entry) error {
+	cp := e.clone()
+	c.mu.Lock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*lruEntry).entry = cp
+		c.ll.MoveToFront(el)
+	} else {
+		c.admit(k, cp)
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		// cp is shared read-only once admitted, so encoding it unlocked is
+		// safe.
+		return c.storeDisk(k, cp)
+	}
+	return nil
+}
+
+// Remove invalidates k in both layers, reporting whether anything existed.
+func (c *Cache) Remove(k Key) bool {
+	c.mu.Lock()
+	removed := false
+	if el, ok := c.byKey[k]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, k)
+		removed = true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if err := os.Remove(filepath.Join(c.dir, k.filename())); err == nil {
+			removed = true
+		}
+	}
+	return removed
+}
+
+// admit inserts a fresh entry at the LRU front and enforces the capacity
+// bound. Caller holds c.mu.
+func (c *Cache) admit(k Key, e *Entry) {
+	c.byKey[k] = c.ll.PushFront(&lruEntry{key: k, entry: e})
+	for c.capacity > 0 && c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// loadDisk decodes the blob of k, treating any read or decode failure as a
+// miss: a truncated or tampered blob must never poison a mining run with a
+// partial entry. Runs unlocked (c.dir is immutable).
+func (c *Cache) loadDisk(k Key) (*Entry, bool) {
+	f, err := os.Open(filepath.Join(c.dir, k.filename()))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	e := &Entry{}
+	if err := gob.NewDecoder(f).Decode(e); err != nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// storeDisk writes the blob of k atomically (temp file + rename), so a
+// crash mid-write leaves either the old blob or none, and concurrent writers
+// of one key leave one winner. Runs unlocked (c.dir is immutable).
+func (c *Cache) storeDisk(k Key, e *Entry) error {
+	path := filepath.Join(c.dir, k.filename())
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("shardcache: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(e); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shardcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shardcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shardcache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package shardcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+)
+
+func key(b byte) Key {
+	var k Key
+	k.Component[0] = b
+	k.Global[31] = 0xee
+	return k
+}
+
+func entry(n int) *Entry {
+	e := &Entry{Iterations: n, GainEvals: 10 * n}
+	for i := 0; i < n; i++ {
+		e.Final = append(e.Final, invdb.LineStat{
+			Core: invdb.CoresetID(i), Leaf: []graph.AttrID{graph.AttrID(i), graph.AttrID(i + 1)}, FL: i + 1,
+		})
+	}
+	e.Init = cloneStats(e.Final)
+	return e
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key(1), entry(1))
+	c.Put(key(2), entry(2))
+	if _, ok := c.Get(key(1)); !ok { // 1 now most recent
+		t.Fatal("missing entry 1")
+	}
+	c.Put(key(3), entry(3)) // evicts 2, the least recent
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("entry 2 survived eviction")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("entry 1 evicted out of LRU order")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("entry 3 missing after insert")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction over 2 entries", st)
+	}
+	// hits: 1(get1) + 1(get1) + 1(get3) = 3; misses: get2 = 1.
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 3 hits / 1 miss", st)
+	}
+}
+
+func TestPutCopiesAndGetShares(t *testing.T) {
+	c := New(0)
+	e := entry(2)
+	c.Put(key(9), e)
+	e.Final[0].FL = 999
+	e.Final[0].Leaf[0] = 999 // caller mutates its own slices after Put
+	got, ok := c.Get(key(9))
+	if !ok {
+		t.Fatal("missing entry")
+	}
+	if got.Final[0].FL == 999 || got.Final[0].Leaf[0] == 999 {
+		t.Fatal("Put aliased the caller's slices")
+	}
+}
+
+func TestOverwriteSameKey(t *testing.T) {
+	c := New(1)
+	c.Put(key(1), entry(1))
+	c.Put(key(1), entry(5))
+	got, _ := c.Get(key(1))
+	if got == nil || got.Iterations != 5 {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 1 {
+		t.Fatalf("overwrite evicted or duplicated: %+v", st)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(1), entry(1))
+	if !c.Remove(key(1)) {
+		t.Fatal("Remove found nothing")
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("entry survived Remove")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.gob")); len(files) != 0 {
+		t.Fatalf("disk blob survived Remove: %v", files)
+	}
+	if c.Remove(key(1)) {
+		t.Fatal("second Remove claimed success")
+	}
+}
+
+func TestDiskRoundTripAndEvictionSurvival(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(1, dir) // memory holds one entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entry(3)
+	c.Put(key(1), want)
+	c.Put(key(2), entry(4)) // evicts 1 from memory; disk blob remains
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats %+v, want one eviction", st)
+	}
+	got, ok := c.Get(key(1)) // served from disk, re-admitted
+	if !ok {
+		t.Fatal("evicted entry not recovered from disk")
+	}
+	if got.Iterations != want.Iterations || len(got.Final) != len(want.Final) ||
+		got.Final[2].FL != want.Final[2].FL || got.Final[2].Leaf[1] != want.Final[2].Leaf[1] {
+		t.Fatalf("disk round-trip mangled the entry: %+v", got)
+	}
+
+	// A second cache over the same directory sees the blobs (restart).
+	c2, err := Open(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key(2)); !ok {
+		t.Fatal("fresh cache missed a persisted blob")
+	}
+	if st := c2.Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("fresh cache stats %+v", st)
+	}
+}
+
+func TestCorruptBlobIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(7), entry(2))
+	files, _ := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if len(files) != 1 {
+		t.Fatalf("expected one blob, got %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Open(0, dir)
+	if _, ok := c2.Get(key(7)); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if st := c2.Stats(); st.Misses != 1 {
+		t.Fatalf("stats %+v, want one miss", st)
+	}
+}
+
+func TestOpenRejectsEmptyDirAndCreatesMissing(t *testing.T) {
+	if _, err := Open(0, ""); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+	nested := filepath.Join(t.TempDir(), "a", "b")
+	if _, err := Open(0, nested); err != nil {
+		t.Fatalf("Open did not create %s: %v", nested, err)
+	}
+	if fi, err := os.Stat(nested); err != nil || !fi.IsDir() {
+		t.Fatalf("cache dir not created: %v", err)
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		c.Put(key(byte(i)), entry(1))
+	}
+	if st := c.Stats(); st.Entries != 100 || st.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", st)
+	}
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Bench-regression gate: compare a fresh `go test -bench` run against the
+# committed baseline and fail on a geomean slowdown of the hot-path micro
+# benchmarks beyond the threshold.
+#
+#   scripts/benchgate.sh bench_baseline.txt bench_new.txt [max_pct]
+#
+# When benchstat (golang.org/x/perf/cmd/benchstat) is installed — CI installs
+# it — its full comparison table is printed and saved to benchstat.txt for
+# the artifact upload. The pass/fail decision itself is computed here from
+# the raw benchmark lines (mean ns/op per benchmark, geomean of new/old
+# ratios over the /^BenchmarkMicro/ set), so the gate works identically with
+# or without benchstat and cannot drift with its output format.
+#
+# The baseline is hardware-specific: regenerate it on the CI runner class
+# whenever the benchmark set or the runner hardware changes, with
+#   go test -run '^$' -bench 'Micro|Sharded' -benchmem -count 5 . > bench_baseline.txt
+set -eu
+BASE="${1:?usage: benchgate.sh baseline new [max_pct]}"
+NEW="${2:?usage: benchgate.sh baseline new [max_pct]}"
+MAXPCT="${3:-10}"
+
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$BASE" "$NEW" | tee benchstat.txt || true
+    echo
+fi
+
+awk -v maxpct="$MAXPCT" '
+    FNR == 1 { file++ }
+    /^BenchmarkMicro/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+        for (i = 3; i <= NF; i++) {
+            if ($i == "ns/op") {
+                if (file == 1) { bsum[name] += $(i-1); bn[name]++ }
+                else           { nsum[name] += $(i-1); nn[name]++ }
+            }
+        }
+    }
+    END {
+        lr = 0; n = 0
+        for (k in bsum) {
+            if (!(k in nsum)) continue
+            old = bsum[k] / bn[k]; new = nsum[k] / nn[k]
+            if (old <= 0 || new <= 0) continue
+            printf "%-55s %14.1f -> %14.1f ns/op  (%+7.2f%%)\n", k, old, new, 100 * (new / old - 1)
+            lr += log(new / old); n++
+        }
+        if (n == 0) {
+            print "benchgate: no hot-path micro benchmarks common to both files" > "/dev/stderr"
+            exit 1
+        }
+        g = exp(lr / n)
+        printf "geomean over %d hot-path micros: %+.2f%% (gate: +%s%%)\n", n, 100 * (g - 1), maxpct
+        if (100 * (g - 1) > maxpct + 0) {
+            printf "benchgate: hot-path micros slowed down beyond the +%s%% gate\n", maxpct > "/dev/stderr"
+            exit 2
+        }
+    }
+' "$BASE" "$NEW"

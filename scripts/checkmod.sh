@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Module-metadata guard shared by every CI job: fail fast when go.mod
+# declares dependencies without a committed go.sum (setup-go's module cache
+# keys off it), then verify whatever is in the module cache.
+set -eu
+cd "$(dirname "$0")/.."
+if grep -Eq '^require' go.mod && [ ! -f go.sum ]; then
+  echo "go.mod declares dependencies but go.sum is missing — commit it" >&2
+  exit 1
+fi
+go mod verify
