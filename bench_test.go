@@ -308,6 +308,32 @@ func BenchmarkSharded_EdgeCut_USFlight_S4W8(b *testing.B) {
 	b.ReportMetric(refine, "refinement-bits")
 }
 
+// --- Distributed shards (DESIGN.md "Distributed shard exchange") ------------
+// The loopback-distributed scenario: the same archipelago as the Sharded
+// rows, mined through MineDistributed's full job pipeline — component
+// remap, gob encode, worker-pool mine, checksummed blob decode, exact merge
+// — minus the sockets. The gap to BenchmarkSharded_Components is the
+// serialisation tax a remote worker fleet pays per job.
+
+func benchDistributed(b *testing.B, shards int) {
+	g := dataset.Islands(dataset.BenchIslands())
+	b.ResetTimer()
+	var m *cspm.Model
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = cspm.MineDistributed(g, cspm.DistributedOptions{
+			Options: cspm.Options{Shards: shards, Workers: shardedBenchWorkers},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.RemoteJobs), "jobs")
+}
+
+func BenchmarkDistributed_Loopback_S4W8(b *testing.B)  { benchDistributed(b, 4) }
+func BenchmarkDistributed_Loopback_S12W8(b *testing.B) { benchDistributed(b, 12) }
+
 // --- Shard-result cache (DESIGN.md "Shard-result cache") --------------------
 // The incremental re-mining scenario of BENCH_3.json: rewire one of twelve
 // islands (≈8% of the components) and mine the mutated graph. The Cold row

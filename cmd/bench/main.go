@@ -4,7 +4,7 @@
 // one run object, so successive entries track the performance trajectory
 // across PRs:
 //
-//	go run ./cmd/bench -label post-change            # Table III + micros → BENCH_1.json
+//	go run ./cmd/bench -label post-change            # Table III + micros + distributed → BENCH_1.json
 //	go run ./cmd/bench -bench 'Table3' -benchtime 5x
 //
 // The file holds a JSON array of runs; each run carries the environment,
@@ -50,7 +50,7 @@ type Run struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
-	bench := flag.String("bench", "Table3|Micro", "go test -bench pattern")
+	bench := flag.String("bench", "Table3|Micro|Distributed", "go test -bench pattern")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	out := flag.String("out", "BENCH_1.json", "trajectory file to append the run to")
 	label := flag.String("label", "", "run label recorded in the JSON (default: timestamp)")

@@ -1,0 +1,43 @@
+// Command cspm-worker serves shard mining jobs to distributed cspm runs
+// (cspm -remote, cspm.MineDistributed): it accepts self-contained component
+// jobs over TCP, mines each against the shipped global context, and streams
+// back checksummed shard-result blobs — the same bytes the shard cache
+// stores. Workers are stateless; kill and restart them freely, the
+// coordinator's retry and local fallback own the gap.
+//
+// Usage:
+//
+//	cspm-worker [-listen :7421] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cspm/internal/cli"
+)
+
+func main() {
+	cfg := cli.WorkerConfig{}
+	flag.StringVar(&cfg.Listen, "listen", ":7421", "host:port to serve shard jobs on")
+	flag.IntVar(&cfg.Workers, "workers", 0, "max concurrently mining jobs (0 = all cores)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: cspm-worker [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	addr, stop, err := cli.StartWorker(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspm-worker:", err)
+		os.Exit(1)
+	}
+	defer stop()
+	fmt.Fprintf(os.Stderr, "cspm-worker: serving shard jobs on %s\n", addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	cspm [-variant partial|basic] [-multicore] [-shards K] [-shard-strategy auto|components|edgecut]
-//	     [-cache] [-cache-dir DIR] [-top N] [-stats] [-multileaf] graph.txt
+//	     [-cache] [-cache-dir DIR] [-remote host:port,...] [-remote-timeout D] [-remote-retries N]
+//	     [-remote-no-fallback] [-top N] [-stats] [-multileaf] graph.txt
 //
 // The input format is line oriented: "v <id> <value>..." declares vertex
 // attributes, "e <u> <v>" an undirected edge, "#" starts a comment. With
@@ -30,6 +31,10 @@ func main() {
 	flag.StringVar(&cfg.ShardStrategy, "shard-strategy", "auto", "shard partitioning: auto, components or edgecut")
 	flag.BoolVar(&cfg.Cache, "cache", false, "mine incrementally through a shard-result cache")
 	flag.StringVar(&cfg.CacheDir, "cache-dir", "", "persist shard results under this directory (implies -cache)")
+	flag.StringVar(&cfg.Remote, "remote", "", "mine over these comma-separated cspm-worker addresses")
+	flag.DurationVar(&cfg.RemoteTimeout, "remote-timeout", 0, "per-attempt wait for a remote shard result (0 = default)")
+	flag.IntVar(&cfg.RemoteRetries, "remote-retries", 0, "re-submissions per shard job before local fallback")
+	flag.BoolVar(&cfg.RemoteNoFallback, "remote-no-fallback", false, "fail instead of mining failed shard jobs locally")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cspm [flags] graph.txt (or - for stdin)")

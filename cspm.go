@@ -32,6 +32,7 @@ import (
 	"cspm/internal/invdb"
 	"cspm/internal/krimp"
 	"cspm/internal/shardcache"
+	"cspm/internal/shardrpc"
 	"cspm/internal/slim"
 	"cspm/internal/tensor"
 )
@@ -159,6 +160,44 @@ func MineShardedCached(g *Graph, opts Options, cache *ShardCache) *Model {
 // in-memory cache).
 func NewMiner(opts Options, cache *ShardCache) (*Miner, error) {
 	return icspm.NewMiner(opts, cache)
+}
+
+// Distributed mining: shard jobs fan out over a pluggable transport to
+// worker processes (cmd/cspm-worker) and the collected results merge
+// through the same exact path as cache replays.
+type (
+	// DistributedOptions tunes MineDistributed: search options plus the
+	// transport, retry, timeout and fallback policy around them.
+	DistributedOptions = icspm.DistributedOptions
+	// DistributedError reports the shard jobs a MineDistributed run could
+	// not collect when local fallback is disabled.
+	DistributedError = icspm.DistributedError
+	// ShardTransport moves shard jobs to workers and results back —
+	// in-process loopback, TCP to cspm-worker processes, or a custom
+	// implementation (the ShardJob/ShardResult aliases make the interface
+	// satisfiable outside this module).
+	ShardTransport = shardrpc.Transport
+	// ShardJob is one self-contained shard mining job a transport carries.
+	ShardJob = shardrpc.Job
+	// ShardResult is a worker's checksummed response to one ShardJob.
+	ShardResult = shardrpc.Result
+)
+
+// MineDistributed mines g by fanning one shard job per attribute-closed
+// component group over a transport (nil = an in-process worker pool),
+// retrying failed attempts and falling back to local mining, so the result
+// is bit-identical to Mine(g) under any transport behaviour — or, with
+// NoFallback set, a typed *DistributedError. See DESIGN.md "Distributed
+// shard exchange".
+func MineDistributed(g *Graph, opts DistributedOptions) (*Model, error) {
+	return icspm.MineDistributed(g, opts)
+}
+
+// DialShardWorkers connects to cspm-worker processes at the given TCP
+// addresses and returns the transport for DistributedOptions.Transport.
+// Close it after mining.
+func DialShardWorkers(addrs []string) (ShardTransport, error) {
+	return shardrpc.Dial(addrs)
 }
 
 // MineMultiCore runs the §IV-F general mode: multi-value coresets are first

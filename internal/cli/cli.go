@@ -7,7 +7,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strings"
+	"time"
 
 	"cspm/internal/alarm"
 	"cspm/internal/cspm"
@@ -15,6 +18,7 @@ import (
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
 	"cspm/internal/shardcache"
+	"cspm/internal/shardrpc"
 	"cspm/internal/slim"
 )
 
@@ -40,6 +44,34 @@ type MineConfig struct {
 	// component-grained).
 	Cache    bool
 	CacheDir string
+	// Remote mines through cspm.MineDistributed over the comma-separated
+	// cspm-worker addresses ("" = local mining). Like the cache it is
+	// component-grained, so it is incompatible with MultiCore and the
+	// edgecut strategy; it composes with Cache/CacheDir (hits skip the
+	// workers). RemoteTimeout bounds each job attempt, RemoteRetries the
+	// re-submissions before local fallback, and RemoteNoFallback turns
+	// exhausted jobs into errors instead of mining them locally.
+	Remote           string
+	RemoteTimeout    time.Duration
+	RemoteRetries    int
+	RemoteNoFallback bool
+}
+
+// parseRemoteAddrs validates the -remote flag: a comma-separated list of
+// host:port worker addresses.
+func parseRemoteAddrs(s string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("empty worker address in -remote %q", s)
+		}
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			return nil, fmt.Errorf("bad worker address %q (want host:port): %v", a, err)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
 }
 
 // parseShardStrategy maps the flag spelling to the miner's constant.
@@ -89,6 +121,27 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 	if cached && strategy == cspm.ShardEdgeCut {
 		return fmt.Errorf("-shard-strategy edgecut cannot be combined with the shard cache (cached mining is component-grained)")
 	}
+	remote := cfg.Remote != ""
+	var workerAddrs []string
+	if remote {
+		if workerAddrs, err = parseRemoteAddrs(cfg.Remote); err != nil {
+			return err
+		}
+		if cfg.MultiCore {
+			return fmt.Errorf("-multicore cannot be combined with -remote (multi-value coresets are mined globally)")
+		}
+		if strategy == cspm.ShardEdgeCut {
+			return fmt.Errorf("-shard-strategy edgecut cannot be combined with -remote (distributed mining is component-grained)")
+		}
+	} else if cfg.RemoteTimeout != 0 || cfg.RemoteRetries != 0 || cfg.RemoteNoFallback {
+		return fmt.Errorf("-remote-timeout, -remote-retries and -remote-no-fallback require -remote")
+	}
+	distOpts := cspm.DistributedOptions{
+		Retries: cfg.RemoteRetries, Timeout: cfg.RemoteTimeout, NoFallback: cfg.RemoteNoFallback,
+	}
+	if err := distOpts.Validate(); err != nil {
+		return err
+	}
 	shardOpts := cspm.Options{
 		Variant: variant, CollectStats: true,
 		Shards: cfg.Shards, ShardStrategy: strategy,
@@ -107,12 +160,29 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 			cache = shardcache.New(0)
 		}
 	}
+	// Dial the workers before the (possibly huge) graph load, so an
+	// unreachable fleet fails as fast as a typo'd flag.
+	var transport shardrpc.Transport
+	if remote {
+		if transport, err = shardrpc.Dial(workerAddrs); err != nil {
+			return err
+		}
+		defer transport.Close()
+	}
 	g, err := graph.Load(r)
 	if err != nil {
 		return err
 	}
 	var model *cspm.Model
 	switch {
+	case remote:
+		distOpts.Options = shardOpts
+		distOpts.Transport = transport
+		distOpts.Cache = cache
+		model, err = cspm.MineDistributed(g, distOpts)
+		if err != nil {
+			return err
+		}
 	case cached:
 		model = cspm.MineShardedCached(g, shardOpts, cache)
 	case sharded:
@@ -141,6 +211,10 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 		if model.CacheHits+model.CacheMisses > 0 {
 			fmt.Fprintf(w, "# cache: %d hits, %d misses, %d evictions\n",
 				model.CacheHits, model.CacheMisses, model.CacheEvictions)
+		}
+		if model.RemoteJobs > 0 {
+			fmt.Fprintf(w, "# remote: %d jobs, %d retries, %d fallbacks\n",
+				model.RemoteJobs, model.RemoteRetries, model.LocalFallbacks)
 		}
 	}
 	patterns := model.Patterns
@@ -211,6 +285,38 @@ func Generate(name string, seed int64, nodes int) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", name)
 	}
+}
+
+// WorkerConfig mirrors cmd/cspm-worker's flags.
+type WorkerConfig struct {
+	// Listen is the host:port to serve shard jobs on (":0" picks a free
+	// port; the bound address is returned by StartWorker).
+	Listen string
+	// Workers caps concurrently mining jobs (0 = all cores).
+	Workers int
+}
+
+// StartWorker validates cfg, binds the listener, and serves shard jobs in a
+// background goroutine. It returns the bound address (resolving a ":0"
+// port) and a stop function that shuts the worker down. All validation
+// happens before the bind, mirroring Mine's validate-before-load contract.
+func StartWorker(cfg WorkerConfig) (addr string, stop func(), err error) {
+	if cfg.Listen == "" {
+		return "", nil, fmt.Errorf("-listen must name a host:port to serve on")
+	}
+	if _, _, err := net.SplitHostPort(cfg.Listen); err != nil {
+		return "", nil, fmt.Errorf("bad -listen address %q (want host:port): %v", cfg.Listen, err)
+	}
+	if cfg.Workers < 0 {
+		return "", nil, fmt.Errorf("-workers must be >= 0, got %d", cfg.Workers)
+	}
+	l, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := shardrpc.NewServer(cspm.ExecuteShardJob, cfg.Workers)
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
 }
 
 // WriteGraph emits g with a stats header in the Load format.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 const fig1Text = `# paper Fig. 1
@@ -178,9 +179,81 @@ func TestMineValidatesBeforeLoad(t *testing.T) {
 		{CacheDir: "/dev/null/not-a-dir", MultiCore: true}, // combination rejected before dir open
 		{Cache: true, ShardStrategy: "edgecut"},
 		{CacheDir: "/dev/null/not-a-dir"}, // unusable cache dir rejected pre-load
+		{Remote: "not-an-address"},        // no port
+		{Remote: "host:1,"},               // trailing empty worker
+		{Remote: "host:1, ,host:2"},       // blank worker in the middle
+		{Remote: "host:1", MultiCore: true},
+		{Remote: "host:1", ShardStrategy: "edgecut"},
+		{Remote: "host:1", RemoteRetries: -1},
+		{Remote: "host:1", RemoteTimeout: -time.Second},
+		{RemoteRetries: 2},                   // remote knobs require -remote
+		{RemoteTimeout: time.Second},         //
+		{RemoteNoFallback: true},             //
+		{Remote: "host:1", Variant: "bogus"}, // variant still validated on the remote path
+		{Remote: "127.0.0.1:1", Shards: -2},  // shard count validated before dialing
+		{Remote: "127.0.0.1:1"},              // unreachable fleet rejected pre-load
 	} {
 		if err := Mine(failingReader{t}, &bytes.Buffer{}, cfg); err == nil {
 			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestMineRemote(t *testing.T) {
+	addr, stop, err := StartWorker(WorkerConfig{Listen: "127.0.0.1:0", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	var local, remote bytes.Buffer
+	if err := Mine(strings.NewReader(twoIslandText), &local, MineConfig{Stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Mine(strings.NewReader(twoIslandText), &remote, MineConfig{Stats: true, Remote: addr}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(remote.String(), "# remote: 2 jobs, 0 retries, 0 fallbacks") {
+		t.Fatalf("remote stats line missing:\n%s", remote.String())
+	}
+	// Bit-exact merge: only the scheduling-dependent header lines may
+	// differ (same contract the cached CLI test pins).
+	strip := func(s string) string {
+		var keep []string
+		for _, ln := range strings.Split(s, "\n") {
+			if strings.HasPrefix(ln, "# shards:") || strings.HasPrefix(ln, "# remote:") ||
+				strings.HasPrefix(ln, "# iterations:") {
+				continue
+			}
+			keep = append(keep, ln)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(remote.String()) != strip(local.String()) {
+		t.Fatalf("remote output diverged:\n%s\nvs\n%s", remote.String(), local.String())
+	}
+	// Remote composes with the persistent cache: a warm second run mines
+	// nothing remotely.
+	dir := t.TempDir()
+	var cold, warm bytes.Buffer
+	if err := Mine(strings.NewReader(twoIslandText), &cold, MineConfig{Stats: true, Remote: addr, CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Mine(strings.NewReader(twoIslandText), &warm, MineConfig{Stats: true, Remote: addr, CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "# cache: 2 hits, 0 misses") || strings.Contains(warm.String(), "# remote:") {
+		t.Fatalf("warm remote run not served from cache:\n%s", warm.String())
+	}
+}
+
+func TestStartWorkerValidates(t *testing.T) {
+	for _, cfg := range []WorkerConfig{
+		{Listen: ""},
+		{Listen: "no-port"},
+		{Listen: "127.0.0.1:0", Workers: -1},
+	} {
+		if _, _, err := StartWorker(cfg); err == nil {
+			t.Fatalf("invalid worker config %+v accepted", cfg)
 		}
 	}
 }

@@ -101,6 +101,18 @@ type Model struct {
 	CacheHits      int
 	CacheMisses    int
 	CacheEvictions int
+
+	// RemoteJobs counts the shard jobs a MineDistributed run dispatched
+	// over its transport; RemoteRetries the re-submissions after drops,
+	// timeouts, corrupt blobs or worker errors; RemoteDuplicates the
+	// responses discarded because their job was already satisfied (late
+	// originals, transport-level duplicates); LocalFallbacks the jobs that
+	// exhausted their retries and were mined in-process instead. All 0
+	// outside distributed runs.
+	RemoteJobs       int
+	RemoteRetries    int
+	RemoteDuplicates int
+	LocalFallbacks   int
 }
 
 // CompressionRatio is FinalDL/BaselineDL; lower is better.

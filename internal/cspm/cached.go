@@ -113,10 +113,7 @@ func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *M
 	m.CacheHits = groups.Count - len(dirty)
 	m.CacheMisses = len(dirty)
 	m.CacheEvictions = int(cache.Stats().Evictions - evBefore)
-	var init, final []invdb.LineStat
 	for gi, e := range entries {
-		init = append(init, e.Init...)
-		final = append(final, e.Final...)
 		if !fresh[gi] {
 			// Replayed groups contribute their recorded diagnostics; fresh
 			// runs contribute theirs through appendShardStats below.
@@ -130,6 +127,22 @@ func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *M
 		}
 		appendShardStats(m, shards[i].stats, i, false)
 	}
+	mergeEntryStats(m, st, entries)
+	return m
+}
+
+// mergeEntryStats folds one entry per component group into m: canonical
+// baseline/final DLs, conditional entropy and the pattern list, all pure
+// functions of the per-group line multisets. This is the exact-merge tail
+// shared by the cached and distributed miners — it cannot tell (and need
+// not know) whether an entry came from a fresh local run, a cache replay,
+// or a remote worker's blob.
+func mergeEntryStats(m *Model, st *mdl.StandardTable, entries []*shardcache.Entry) {
+	var init, final []invdb.LineStat
+	for _, e := range entries {
+		init = append(init, e.Init...)
+		final = append(final, e.Final...)
+	}
 	coreCode := func(c invdb.CoresetID) float64 { return st.Len(graph.AttrID(c)) }
 	bd, bm := invdb.CanonicalDL(st, coreCode, init)
 	m.BaselineDL = bd + bm
@@ -138,7 +151,6 @@ func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *M
 	m.CondEntropy = cond
 	m.Patterns = patternsFromStats(st, final)
 	sortPatterns(m.Patterns)
-	return m
 }
 
 // patternsFromStats derives the a-star pattern list from a final line

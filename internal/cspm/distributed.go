@@ -1,0 +1,454 @@
+package cspm
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+	"cspm/internal/mdl"
+	"cspm/internal/shardcache"
+	"cspm/internal/shardrpc"
+)
+
+// DefaultRemoteTimeout is the per-attempt wait for a shard job's result
+// when DistributedOptions.Timeout is zero.
+const DefaultRemoteTimeout = 30 * time.Second
+
+// DistributedOptions configures MineDistributed: the search options every
+// shard job carries plus the fan-out policy around them.
+type DistributedOptions struct {
+	Options
+
+	// Transport moves jobs to workers; nil runs an in-process loopback
+	// worker pool (Options.Shards bounds its size) — the same code path
+	// minus the sockets, which is what the bench scenario measures.
+	Transport shardrpc.Transport
+	// Retries is how many times one job is re-submitted after a failed
+	// attempt (timeout, corrupt blob, worker error) before it falls back
+	// to local mining; 0 means a single attempt per job.
+	Retries int
+	// Timeout bounds each attempt's wait for a result (0 = the
+	// DefaultRemoteTimeout).
+	Timeout time.Duration
+	// NoFallback turns exhausted jobs into a *DistributedError instead of
+	// mining them locally. The default (fallback on) makes MineDistributed
+	// total: any transport, however lossy, yields the exact model.
+	NoFallback bool
+	// Cache, when non-nil, is consulted before jobs are built (hits skip
+	// the transport entirely) and filled with every collected entry —
+	// remote results and cache hits are interchangeable bytes, so the two
+	// subsystems compose for free.
+	Cache *shardcache.Cache
+}
+
+// Validate sanity-checks the distributed options.
+func (o DistributedOptions) Validate() error {
+	if err := o.Options.Validate(); err != nil {
+		return err
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("cspm: Retries must be >= 0, got %d", o.Retries)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("cspm: Timeout must be >= 0, got %v", o.Timeout)
+	}
+	return nil
+}
+
+// FailedJob is one shard job that exhausted its attempts.
+type FailedJob struct {
+	Group int   // index of the attribute-closed component group
+	Err   error // the last attempt's failure
+}
+
+// DistributedError reports the jobs a MineDistributed run could not collect
+// with local fallback disabled. It wraps the per-job errors, so errors.Is
+// sees through to e.g. shardrpc.ErrCorruptResult.
+type DistributedError struct {
+	Jobs []FailedJob
+}
+
+func (e *DistributedError) Error() string {
+	if len(e.Jobs) == 1 {
+		return fmt.Sprintf("cspm: distributed mining: shard job for group %d failed: %v", e.Jobs[0].Group, e.Jobs[0].Err)
+	}
+	return fmt.Sprintf("cspm: distributed mining: %d shard jobs failed (first: group %d: %v)", len(e.Jobs), e.Jobs[0].Group, e.Jobs[0].Err)
+}
+
+// Unwrap exposes the per-job causes to errors.Is/As.
+func (e *DistributedError) Unwrap() []error {
+	errs := make([]error, len(e.Jobs))
+	for i, j := range e.Jobs {
+		errs[i] = j.Err
+	}
+	return errs
+}
+
+// ExecuteShardJob mines one shard job into a cache entry — the worker side
+// of distributed mining, wired as the shardrpc Handler by cmd/cspm-worker
+// and the in-process loopback. The job is self-contained: the DB is rebuilt
+// from the shipped vertex slice against the shipped global standard table,
+// so the entry is bit-identical to the one a local shard run over the same
+// group would produce (see invdb.FromShardData).
+func ExecuteShardJob(job shardrpc.Job) (*shardcache.Entry, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Variant:          Variant(job.Variant),
+		MaxIterations:    job.MaxIterations,
+		DisableModelCost: job.DisableModelCost,
+		Workers:          job.Workers,
+	}
+	if opts.Variant != Partial && opts.Variant != Basic {
+		// A job from a newer coordinator must fail loudly, not silently
+		// mine the default variant into a wrong-looking entry.
+		return nil, fmt.Errorf("cspm: shard job %d: unknown variant %d", job.ID, job.Variant)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	st := mdl.NewStandardTableFromFreqs(job.STFreqs)
+	db := invdb.FromShardData(st, job.NumAttrValues, job.Attrs, job.Adj)
+	stats := &runStats{}
+	init := db.AppendLineStats(nil)
+	switch opts.Variant {
+	case Basic:
+		mineBasic(db, opts, stats)
+	default:
+		minePartial(db, opts, stats)
+	}
+	return &shardcache.Entry{
+		Init: init, Final: db.AppendLineStats(nil),
+		Iterations: stats.iterations, GainEvals: stats.gainEvals,
+	}, nil
+}
+
+// buildShardJob remaps one component group into a self-contained shard job:
+// per-local-vertex attribute lists (global ids) and local adjacency rows.
+// verts is sorted ascending, so the remap preserves neighbour order and the
+// worker-side DB construction walks vertices in the same order as a local
+// FromGraphShard would.
+func buildShardJob(g *graph.Graph, stFreqs []int, opts Options, id uint64, verts []graph.VertexID) shardrpc.Job {
+	local := make(map[graph.VertexID]graph.VertexID, len(verts))
+	for li, gv := range verts {
+		local[gv] = graph.VertexID(li)
+	}
+	attrs := make([][]graph.AttrID, len(verts))
+	adj := make([][]graph.VertexID, len(verts))
+	for li, gv := range verts {
+		attrs[li] = append([]graph.AttrID(nil), g.Attrs(gv)...)
+		ns := g.Neighbors(gv)
+		row := make([]graph.VertexID, len(ns))
+		for i, u := range ns {
+			// Attribute-closed component groups are unions of connected
+			// components: every neighbour is in verts, so the lookup always
+			// hits.
+			row[i] = local[u]
+		}
+		adj[li] = row
+	}
+	return shardrpc.Job{
+		ID:            id,
+		NumAttrValues: len(stFreqs),
+		Attrs:         attrs,
+		Adj:           adj,
+		STFreqs:       stFreqs,
+		Variant:       int(opts.Variant),
+		MaxIterations: opts.MaxIterations,
+		// Workers is the PER-WORKER evaluator budget: remote machines do
+		// not share the coordinator's cores, so the budget is not split the
+		// way runShards splits it (results are identical either way by the
+		// determinism contract).
+		Workers:          opts.Workers,
+		DisableModelCost: opts.DisableModelCost,
+	}
+}
+
+// MineDistributed mines g like MineShardedCached — one shard job per
+// attribute-closed component group, merged exactly — but executes the jobs
+// over a shardrpc transport: an in-process worker pool by default, remote
+// cspm-worker processes over TCP, or a fault-injecting wrapper in tests.
+// Failed attempts (drop, timeout, corrupt or truncated blob, worker error)
+// are retried up to opts.Retries times and then mined locally, so the
+// result is bit-identical to Mine(g) for every transport behaviour — or,
+// with NoFallback set, a *DistributedError; never a silently wrong model.
+// Responses are matched and deduplicated by job id, so a transport that
+// delivers a result twice (a retry racing its late original) cannot
+// double-count a group in the merge.
+//
+// Options.MaxIterations caps each group's merges independently (the
+// MineSharded/MineShardedCached semantics, not Mine's global cap) and
+// per-iteration traces (Model.PerIter) are not collected — entries carry
+// only the iteration totals. Like MineShardedCached, mining is always
+// component-grained; Options.ShardStrategy is ignored.
+func MineDistributed(g *graph.Graph, opts DistributedOptions) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	groups := graph.AttrClosedComponents(g)
+	members := groups.Members()
+	st := mdl.NewStandardTable(g)
+	stFreqs := st.Freqs()
+	m := &Model{Vocab: g.Vocab()}
+
+	// Cache consult: hits are finished groups before any job is built.
+	entries := make([]*shardcache.Entry, groups.Count)
+	var keys []shardcache.Key
+	var evBefore uint64
+	if opts.Cache != nil {
+		evBefore = opts.Cache.Stats().Evictions
+		fps := groups.Fingerprints(g)
+		global := graph.GlobalFingerprint(g)
+		search := searchFingerprint(opts.Options)
+		keys = make([]shardcache.Key, groups.Count)
+		for gi := range keys {
+			keys[gi] = shardcache.Key{Component: fps[gi], Global: global, Search: search}
+			if e, ok := opts.Cache.Get(keys[gi]); ok {
+				entries[gi] = e
+				m.CacheHits++
+			}
+		}
+	}
+	var jobGroups []int
+	for gi := 0; gi < groups.Count; gi++ {
+		if entries[gi] == nil {
+			jobGroups = append(jobGroups, gi)
+		}
+	}
+	if opts.Cache != nil {
+		m.CacheMisses = len(jobGroups)
+	}
+	m.ShardCount = len(jobGroups)
+	m.RemoteJobs = len(jobGroups)
+
+	fallbackOpts := opts.Options
+	transport := opts.Transport
+	if transport == nil && len(jobGroups) > 0 {
+		k := opts.Shards
+		if k == 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		pool := min(k, len(jobGroups))
+		lb := shardrpc.NewLoopback(ExecuteShardJob, pool)
+		defer lb.Close()
+		transport = lb
+		// The in-process pool shares the coordinator's cores, so split the
+		// evaluation budget across the concurrent jobs the way runShards
+		// splits it — each job's Workers is its own evaluator count, and
+		// results are bit-identical for any value. Remote transports keep
+		// the unsplit budget: their workers' cores are not ours.
+		opts.Workers = max(1, opts.workerCount()/pool)
+	}
+
+	failed := collectRemote(transport, g, stFreqs, opts, jobGroups, members, entries, m)
+	if len(failed) > 0 {
+		if opts.NoFallback {
+			return nil, &DistributedError{Jobs: failed}
+		}
+		mineFallback(g, st, fallbackOpts, failed, members, entries, m)
+	}
+	if opts.Cache != nil {
+		for _, gi := range jobGroups {
+			// A failed disk write only loses persistence; mining
+			// correctness is unaffected (same contract as the cached miner).
+			_ = opts.Cache.Put(keys[gi], entries[gi])
+		}
+		m.CacheEvictions = int(opts.Cache.Stats().Evictions - evBefore)
+	}
+	for _, e := range entries {
+		m.Iterations += e.Iterations
+		m.GainEvals += e.GainEvals
+	}
+	mergeEntryStats(m, st, entries)
+	return m, nil
+}
+
+// pendingJob tracks one dispatched shard job through its attempts.
+type pendingJob struct {
+	group    int
+	job      shardrpc.Job
+	jobSum   [sha256.Size]byte // checksum of the job as sent
+	attempts int               // submissions so far
+	deadline time.Time
+	lastErr  error
+}
+
+// distRunSeq tags every MineDistributed run's job ids with a distinct high
+// word, so a transport reused across runs (a long-lived worker fleet
+// client) can never match one run's late result to another run's job: the
+// stale id misses the outstanding map and is counted as a duplicate.
+var distRunSeq atomic.Uint64
+
+// collectRemote dispatches one job per group in jobGroups and collects
+// entries, retrying failed attempts up to opts.Retries times. It returns
+// the jobs that exhausted their attempts; everything else has its entry
+// slot filled. Responses whose job is already satisfied are counted on
+// m.RemoteDuplicates and dropped — the dedupe that keeps a duplicating
+// transport from double-counting a group.
+func collectRemote(t shardrpc.Transport, g *graph.Graph, stFreqs []int, opts DistributedOptions, jobGroups []int, members [][]graph.VertexID, entries []*shardcache.Entry, m *Model) []FailedJob {
+	if len(jobGroups) == 0 {
+		return nil
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	maxAttempts := opts.Retries + 1
+	outstanding := make(map[uint64]*pendingJob, len(jobGroups))
+	var failed []FailedJob
+
+	// dispatch submits p's next attempt; when the budget is spent, the job
+	// moves to failed. A Submit error (every worker down) consumes attempts
+	// in-place, so a fully dead transport degrades to local fallback
+	// without waiting out timeouts.
+	dispatch := func(p *pendingJob) {
+		for p.attempts < maxAttempts {
+			if p.attempts > 0 {
+				m.RemoteRetries++
+			}
+			p.attempts++
+			if err := t.Submit(p.job); err != nil {
+				p.lastErr = fmt.Errorf("shard job %d: submit: %w", p.job.ID, err)
+				continue
+			}
+			// The deadline starts only once the job is handed over: a slow
+			// Submit (a TCP write stalling toward its own deadline) must
+			// not eat into the documented wait-for-result budget.
+			p.deadline = time.Now().Add(timeout)
+			return
+		}
+		delete(outstanding, p.job.ID)
+		failed = append(failed, FailedJob{Group: p.group, Err: p.lastErr})
+	}
+
+	// handle matches one response to its pending job: echoes of satisfied
+	// jobs are counted and dropped, failures re-dispatch, successes fill
+	// the entry slot. The worker's echoed job checksum must match the job
+	// as sent — a transport that mutated the job in flight made the worker
+	// mine the wrong shard, and its (internally consistent) entry must be
+	// rejected like any other corruption.
+	handle := func(res shardrpc.Result) {
+		p, want := outstanding[res.JobID]
+		if !want {
+			m.RemoteDuplicates++
+			return
+		}
+		if res.Err != "" {
+			p.lastErr = &shardrpc.JobError{JobID: res.JobID, Msg: res.Err}
+			dispatch(p)
+			return
+		}
+		if res.JobSum != p.jobSum {
+			p.lastErr = fmt.Errorf("shard job %d: %w: job mutated in transit (worker mined different input)", res.JobID, shardrpc.ErrCorruptResult)
+			dispatch(p)
+			return
+		}
+		e, err := shardrpc.DecodeEntry(res.Blob, res.Sum)
+		if err != nil {
+			p.lastErr = fmt.Errorf("shard job %d: %w", res.JobID, err)
+			dispatch(p)
+			return
+		}
+		entries[p.group] = e
+		delete(outstanding, res.JobID)
+	}
+
+	runTag := distRunSeq.Add(1) << 32
+	for _, gi := range jobGroups {
+		p := &pendingJob{group: gi, job: buildShardJob(g, stFreqs, opts.Options, runTag|uint64(gi), members[gi])}
+		var err error
+		if p.jobSum, err = shardrpc.JobChecksum(p.job); err != nil {
+			// Unencodable jobs cannot travel at all; fail the job into the
+			// fallback path instead of submitting garbage.
+			failed = append(failed, FailedJob{Group: gi, Err: err})
+			continue
+		}
+		outstanding[p.job.ID] = p
+		dispatch(p)
+		// Drain whatever is already ready between dispatches: transports
+		// buffer a bounded number of results (and may drop past the bound),
+		// so a fleet larger than the buffer must not have every slot full
+		// before we read the first one. A closed channel is left for the
+		// collect loop below to diagnose.
+		for draining := true; draining; {
+			select {
+			case res, ok := <-t.Results():
+				if !ok {
+					draining = false
+					break
+				}
+				handle(res)
+			default:
+				draining = false
+			}
+		}
+	}
+	for len(outstanding) > 0 {
+		var next time.Time
+		for _, p := range outstanding {
+			if next.IsZero() || p.deadline.Before(next) {
+				next = p.deadline
+			}
+		}
+		wait := time.Until(next)
+		if wait < 0 {
+			wait = 0
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case res, ok := <-t.Results():
+			timer.Stop()
+			if !ok {
+				// The transport shut down under us: nothing further will
+				// arrive, so every outstanding job fails its remaining
+				// attempts at once.
+				for id, p := range outstanding {
+					delete(outstanding, id)
+					failed = append(failed, FailedJob{Group: p.group,
+						Err: fmt.Errorf("shard job %d: %w", p.job.ID, shardrpc.ErrClosed)})
+				}
+				continue
+			}
+			handle(res)
+		case <-timer.C:
+			now := time.Now()
+			for _, p := range outstanding {
+				if !p.deadline.After(now) {
+					p.lastErr = fmt.Errorf("shard job %d: no result within %v (attempt %d of %d)", p.job.ID, timeout, p.attempts, maxAttempts)
+					dispatch(p)
+				}
+			}
+		}
+	}
+	return failed
+}
+
+// mineFallback mines the failed groups in-process — the exact dirty-group
+// path of the cached miner, so a fallback entry is indistinguishable from
+// the remote entry that never arrived.
+func mineFallback(g *graph.Graph, st *mdl.StandardTable, opts Options, failed []FailedJob, members [][]graph.VertexID, entries []*shardcache.Entry, m *Model) {
+	runOpts := opts
+	runOpts.CollectStats = true
+	shards := make([]*shardRun, len(failed))
+	for i, f := range failed {
+		shards[i] = &shardRun{verts: members[f.Group]}
+	}
+	k := opts.Shards
+	if k == 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	runShards(g, st, runOpts, shards, k)
+	for i, f := range failed {
+		sh := shards[i]
+		entries[f.Group] = &shardcache.Entry{
+			Init: sh.init, Final: sh.final,
+			Iterations: sh.stats.iterations, GainEvals: sh.stats.gainEvals,
+		}
+	}
+	m.LocalFallbacks = len(failed)
+}

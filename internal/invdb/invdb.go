@@ -192,11 +192,20 @@ func FromGraphWithCoresets(g *graph.Graph, coresets [][]graph.AttrID, positions 
 	return build(g, st, coresets, positions, nil), nil
 }
 
+// neighborhood is the slice of graph state DB construction reads: sorted
+// neighbour lists and sorted per-vertex attribute values. *graph.Graph
+// satisfies it; the shard-job constructor substitutes shipped slices, so a
+// worker that never saw the graph builds the same initial lines.
+type neighborhood interface {
+	Neighbors(v graph.VertexID) []graph.VertexID
+	Attrs(v graph.VertexID) []graph.AttrID
+}
+
 // build assembles a DB from coreset contents and their firing positions.
 // Positions are line-local vertex ids; globalOf maps them back to g's vertex
 // ids for adjacency lookups (nil = identity, the unsharded case). The shard
 // constructors pass a remapping so position sets stay dense per shard.
-func build(g *graph.Graph, st *mdl.StandardTable, content [][]graph.AttrID, positions []intset.Set, globalOf []graph.VertexID) *DB {
+func build(g neighborhood, st *mdl.StandardTable, content [][]graph.AttrID, positions []intset.Set, globalOf []graph.VertexID) *DB {
 	db := &DB{
 		st:          st,
 		coreContent: content,

@@ -31,20 +31,55 @@ import (
 // vertices of an edge-cut shard contribute their attribute values to their
 // neighbours' lines without being replicated into the shard.
 func FromGraphShard(g *graph.Graph, st *mdl.StandardTable, verts []graph.VertexID) *DB {
-	nA := g.NumAttrValues()
-	content := make([][]graph.AttrID, nA)
+	content, positions := singleValueShardCoresets(g.NumAttrValues(), len(verts),
+		func(li int) []graph.AttrID { return g.Attrs(verts[li]) })
+	return build(g, st, content, positions, verts)
+}
+
+// singleValueShardCoresets inverts per-local-vertex attribute lists into the
+// single-value coreset space of a shard: one coreset per GLOBAL attribute
+// value, firing at the local vertices carrying it (ascending li, so the
+// position sets are sorted). Shared by FromGraphShard and FromShardData —
+// the local/remote bit-identity contract depends on both feeding build the
+// same inversion, so there is exactly one copy of it.
+func singleValueShardCoresets(nA, n int, attrsOf func(li int) []graph.AttrID) (content [][]graph.AttrID, positions []intset.Set) {
 	posBuf := make([][]uint32, nA)
-	for li, gv := range verts {
-		for _, a := range g.Attrs(gv) {
-			posBuf[a] = append(posBuf[a], uint32(li)) // ascending li: verts is sorted
+	for li := 0; li < n; li++ {
+		for _, a := range attrsOf(li) {
+			posBuf[a] = append(posBuf[a], uint32(li))
 		}
 	}
-	positions := make([]intset.Set, nA)
+	content = make([][]graph.AttrID, nA)
+	positions = make([]intset.Set, nA)
 	for a := 0; a < nA; a++ {
 		content[a] = []graph.AttrID{graph.AttrID(a)}
 		positions[a] = intset.FromSorted(posBuf[a])
 	}
-	return build(g, st, content, positions, verts)
+	return content, positions
+}
+
+// shardData adapts a shipped shard — per-local-vertex attribute lists and
+// local adjacency rows — to the neighborhood interface build reads.
+type shardData struct {
+	attrs [][]graph.AttrID
+	adj   [][]graph.VertexID
+}
+
+func (d shardData) Neighbors(v graph.VertexID) []graph.VertexID { return d.adj[v] }
+func (d shardData) Attrs(v graph.VertexID) []graph.AttrID       { return d.attrs[v] }
+
+// FromShardData builds the inverted database of a shard shipped without its
+// graph: local vertex li carries attrs[li] (sorted GLOBAL attribute ids) and
+// neighbours adj[li] (sorted local ids); nA is the size of the global
+// attribute-id space and st the GLOBAL standard table. When attrs and adj
+// are the rows of a sorted vertex slice verts remapped to local ids — and no
+// edge leaves the slice, as with attribute-closed component groups — the
+// result is identical to FromGraphShard(g, st, verts): both feed build the
+// same positions, neighbour order and attribute values, in the same order.
+func FromShardData(st *mdl.StandardTable, nA int, attrs [][]graph.AttrID, adj [][]graph.VertexID) *DB {
+	content, positions := singleValueShardCoresets(nA, len(attrs),
+		func(li int) []graph.AttrID { return attrs[li] })
+	return build(shardData{attrs: attrs, adj: adj}, st, content, positions, nil)
 }
 
 // LineStat is the DL-relevant skeleton of one line: its coreset, leafset

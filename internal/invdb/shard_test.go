@@ -208,3 +208,47 @@ func statKey(s LineStat) string {
 	}
 	return key
 }
+
+// remapShard extracts the shard-job view of verts: per-local-vertex attrs
+// (global ids) and local adjacency — exactly what the distributed miner
+// ships to a worker.
+func remapShard(g *graph.Graph, verts []graph.VertexID) (attrs [][]graph.AttrID, adj [][]graph.VertexID) {
+	local := make(map[graph.VertexID]graph.VertexID, len(verts))
+	for li, gv := range verts {
+		local[gv] = graph.VertexID(li)
+	}
+	attrs = make([][]graph.AttrID, len(verts))
+	adj = make([][]graph.VertexID, len(verts))
+	for li, gv := range verts {
+		attrs[li] = append([]graph.AttrID(nil), g.Attrs(gv)...)
+		for _, u := range g.Neighbors(gv) {
+			adj[li] = append(adj[li], local[u])
+		}
+	}
+	return attrs, adj
+}
+
+func TestFromShardDataMatchesFromGraphShard(t *testing.T) {
+	g := islands(t)
+	st := mdl.NewStandardTable(g)
+	for _, verts := range [][]graph.VertexID{
+		{0, 1, 2},       // triangle component
+		{3, 4},          // edge component
+		{0, 1, 2, 3, 4}, // whole graph
+	} {
+		want := FromGraphShard(g, st, verts)
+		attrs, adj := remapShard(g, verts)
+		got := FromShardData(mdl.NewStandardTableFromFreqs(st.Freqs()), g.NumAttrValues(), attrs, adj)
+		if got.NumLines() != want.NumLines() {
+			t.Fatalf("verts %v: line counts differ: %d vs %d", verts, got.NumLines(), want.NumLines())
+		}
+		if math.Float64bits(got.BaselineDL()) != math.Float64bits(want.BaselineDL()) {
+			t.Fatalf("verts %v: baseline %v != %v", verts, got.BaselineDL(), want.BaselineDL())
+		}
+		gi, gm := got.CanonicalDL()
+		wi, wm := want.CanonicalDL()
+		if math.Float64bits(gi) != math.Float64bits(wi) || math.Float64bits(gm) != math.Float64bits(wm) {
+			t.Fatalf("verts %v: canonical DLs differ: (%v,%v) vs (%v,%v)", verts, gi, gm, wi, wm)
+		}
+	}
+}

@@ -72,6 +72,14 @@ func NewStandardTableFromFreqs(freq []int) *StandardTable {
 	return st
 }
 
+// Freqs returns a copy of the per-value occurrence counts, indexed by
+// AttrID — the table's complete state, so NewStandardTableFromFreqs(Freqs())
+// reconstructs an identical table (the global attribute context shipped to
+// remote shard workers).
+func (st *StandardTable) Freqs() []int {
+	return append([]int(nil), st.freq...)
+}
+
 // Freq reports the global occurrence count of value a.
 func (st *StandardTable) Freq(a graph.AttrID) int {
 	if int(a) >= len(st.freq) {

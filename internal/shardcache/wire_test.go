@@ -1,0 +1,90 @@
+package shardcache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cspm/internal/graph"
+	"cspm/internal/invdb"
+)
+
+// goldenEntry is the canonical fixture value: every field non-zero (gob
+// omits zero-valued fields, which would leave parts of the format unpinned)
+// and leafsets of several lengths.
+func goldenEntry() *Entry {
+	return &Entry{
+		Init: []invdb.LineStat{
+			{Core: 0, Leaf: []graph.AttrID{1}, FL: 3},
+			{Core: 0, Leaf: []graph.AttrID{2}, FL: 1},
+			{Core: 1, Leaf: []graph.AttrID{0, 2}, FL: 2},
+			{Core: 2, Leaf: []graph.AttrID{0, 1, 3}, FL: 5},
+		},
+		Final: []invdb.LineStat{
+			{Core: 0, Leaf: []graph.AttrID{1, 2}, FL: 4},
+			{Core: 2, Leaf: []graph.AttrID{0, 1, 3}, FL: 5},
+		},
+		Iterations: 7,
+		GainEvals:  123,
+	}
+}
+
+const goldenPath = "testdata/entry_v1.gob"
+
+// TestEntryWireFormatGolden pins the gob blob format the disk cache layer
+// and the shardrpc transport both exchange: the committed fixture must
+// decode into exactly the canonical entry, and re-encoding that entry must
+// reproduce the committed bytes bit for bit. Any change that breaks either
+// direction — a renamed or retyped Entry/LineStat field, a different id
+// width — breaks every persisted cache directory and mixed-version
+// worker fleet, and must bump the format (new fixture, new version suffix)
+// instead of mutating this one. Regenerate deliberately with
+// UPDATE_WIRE_GOLDEN=1 go test ./internal/shardcache -run WireFormat.
+func TestEntryWireFormatGolden(t *testing.T) {
+	want := goldenEntry()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_WIRE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", buf.Len(), goldenPath)
+	}
+	committed, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden blob missing (regenerate with UPDATE_WIRE_GOLDEN=1): %v", err)
+	}
+
+	// Decode direction: the committed bytes still mean the canonical entry.
+	got := &Entry{}
+	if err := gob.NewDecoder(bytes.NewReader(committed)).Decode(got); err != nil {
+		t.Fatalf("committed blob no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("committed blob decodes to a different entry:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Encode direction: a fresh encoder reproduces the committed bytes, so
+	// current writers still speak the committed format.
+	if !bytes.Equal(buf.Bytes(), committed) {
+		t.Fatalf("re-encoded entry differs from the committed blob (%d vs %d bytes): the wire format changed", buf.Len(), len(committed))
+	}
+
+	// Round trip through decode → encode is also byte-identical, pinning
+	// that nothing (zero-field elision, slice nil-ness) is lost in transit.
+	var again bytes.Buffer
+	if err := gob.NewEncoder(&again).Encode(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), committed) {
+		t.Fatal("decode→re-encode is not byte-identical")
+	}
+}

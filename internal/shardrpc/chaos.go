@@ -1,0 +1,167 @@
+package shardrpc
+
+import (
+	"sync"
+	"time"
+)
+
+// Fault is one injected transport failure mode.
+type Fault int
+
+const (
+	// FaultNone passes the job and its result through untouched.
+	FaultNone Fault = iota
+	// FaultDrop swallows the job: no result ever arrives.
+	FaultDrop
+	// FaultDelay delivers the result only after the chaos delay — late
+	// enough to look dead to a coordinator with a shorter timeout, so the
+	// retried copy and the late original race into the collector.
+	FaultDelay
+	// FaultDuplicate delivers the result twice.
+	FaultDuplicate
+	// FaultCorrupt flips a byte in the result blob, leaving the checksum
+	// describing the original bytes (wire corruption, detectable).
+	FaultCorrupt
+	// FaultTruncate delivers only a prefix of the blob (partial response).
+	FaultTruncate
+	// FaultError replaces the result with a worker-side failure report.
+	FaultError
+	// FaultDisconnect kills the transport mid-stream: this job and every
+	// result not yet delivered — including other jobs' — vanish, as when a
+	// worker process dies with responses still buffered.
+	FaultDisconnect
+)
+
+// FaultPlan decides the fault for a given (job, attempt) pair; attempt
+// counts that job's Submit calls from 0. Plans are pure functions in tests,
+// which is what makes every chaos scenario reproducible.
+type FaultPlan func(jobID uint64, attempt int) Fault
+
+// Chaos wraps an inner transport with deterministic fault injection. Faults
+// are chosen at Submit time (keyed by per-job attempt count) and applied to
+// the matching result on the way back.
+type Chaos struct {
+	inner Transport
+	plan  FaultPlan
+	delay time.Duration
+	out   chan Result
+
+	mu       sync.Mutex
+	attempts map[uint64]int
+	pending  map[uint64][]Fault // faults awaiting that job's next result
+	dead     bool               // FaultDisconnect tripped: deliver nothing more
+	closed   bool
+	senders  sync.WaitGroup // delayed deliveries in flight
+}
+
+// NewChaos wraps inner with plan; delay is the extra latency FaultDelay
+// applies (choose it longer than the coordinator's per-attempt timeout to
+// force a retry race).
+func NewChaos(inner Transport, plan FaultPlan, delay time.Duration) *Chaos {
+	c := &Chaos{
+		inner:    inner,
+		plan:     plan,
+		delay:    delay,
+		out:      make(chan Result, resultBuffer),
+		attempts: make(map[uint64]int),
+		pending:  make(map[uint64][]Fault),
+	}
+	go c.pump()
+	return c
+}
+
+// Submit consults the plan and either swallows the job (drop, disconnect)
+// or forwards it with the chosen fault armed for its result.
+func (c *Chaos) Submit(job Job) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	attempt := c.attempts[job.ID]
+	c.attempts[job.ID]++
+	fault := FaultNone
+	if c.plan != nil {
+		fault = c.plan(job.ID, attempt)
+	}
+	switch fault {
+	case FaultDrop:
+		c.mu.Unlock()
+		return nil
+	case FaultDisconnect:
+		c.dead = true
+		c.mu.Unlock()
+		return nil
+	}
+	c.pending[job.ID] = append(c.pending[job.ID], fault)
+	c.mu.Unlock()
+	return c.inner.Submit(job)
+}
+
+// pump forwards inner results, applying the fault armed for each.
+func (c *Chaos) pump() {
+	for res := range c.inner.Results() {
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			continue
+		}
+		fault := FaultNone
+		if q := c.pending[res.JobID]; len(q) > 0 {
+			fault = q[0]
+			c.pending[res.JobID] = q[1:]
+		}
+		c.mu.Unlock()
+		switch fault {
+		case FaultDelay:
+			c.senders.Add(1)
+			go func(res Result) {
+				defer c.senders.Done()
+				time.Sleep(c.delay)
+				c.deliver(res)
+			}(res)
+		case FaultDuplicate:
+			c.deliver(res)
+			c.deliver(res)
+		case FaultCorrupt:
+			res.Blob = append([]byte(nil), res.Blob...)
+			if len(res.Blob) > 0 {
+				res.Blob[len(res.Blob)/2] ^= 0xFF
+			}
+			c.deliver(res)
+		case FaultTruncate:
+			res.Blob = append([]byte(nil), res.Blob[:len(res.Blob)/2]...)
+			c.deliver(res)
+		case FaultError:
+			c.deliver(Result{JobID: res.JobID, Err: "chaos: injected worker failure"})
+		default:
+			c.deliver(res)
+		}
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.senders.Wait()
+	close(c.out)
+}
+
+// deliver sends one result unless the transport died or closed; a full
+// buffer drops the result (chaos semantics make that legitimate).
+func (c *Chaos) deliver(res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead || c.closed {
+		return
+	}
+	select {
+	case c.out <- res:
+	default:
+	}
+}
+
+// Results delivers the surviving (and possibly mutated) results.
+func (c *Chaos) Results() <-chan Result { return c.out }
+
+// Close closes the inner transport; the chaos channel closes once the pump
+// and any delayed deliveries finish.
+func (c *Chaos) Close() error { return c.inner.Close() }

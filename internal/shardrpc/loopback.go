@@ -1,0 +1,90 @@
+package shardrpc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// resultBuffer bounds the results channel of every transport. Generous so
+// producers never deadlock against a coordinator that stopped reading (it
+// finishes a run as soon as every job is satisfied; late duplicates park in
+// the buffer until Close).
+const resultBuffer = 1024
+
+// Loopback executes jobs on an in-process worker pool — the transport
+// behind MineDistributed's nil-transport default, the loopback-distributed
+// bench scenario, and the inner layer of most chaos tests. It exercises the
+// full job/entry codec, so a loopback run covers everything but the socket.
+type Loopback struct {
+	h    Handler
+	jobs chan Job
+	out  chan Result
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed once all workers exited and out is closed
+}
+
+// NewLoopback starts a loopback transport with the given worker-pool size
+// (0 = GOMAXPROCS).
+func NewLoopback(h Handler, workers int) *Loopback {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lb := &Loopback{
+		h:    h,
+		jobs: make(chan Job, resultBuffer),
+		out:  make(chan Result, resultBuffer),
+		done: make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range lb.jobs {
+				res := execute(lb.h, job)
+				select {
+				case lb.out <- res:
+				default:
+					// The coordinator stopped reading with the buffer full
+					// (an abandoned run); dropping beats deadlocking Close —
+					// an undelivered result is a documented transport mode.
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(lb.out)
+		close(lb.done)
+	}()
+	return lb
+}
+
+// Submit enqueues job on the pool.
+func (lb *Loopback) Submit(job Job) error {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if lb.closed {
+		return ErrClosed
+	}
+	lb.jobs <- job
+	return nil
+}
+
+// Results delivers completed jobs in completion order.
+func (lb *Loopback) Results() <-chan Result { return lb.out }
+
+// Close drains the pool: queued jobs still execute, then the results
+// channel closes.
+func (lb *Loopback) Close() error {
+	lb.mu.Lock()
+	if !lb.closed {
+		lb.closed = true
+		close(lb.jobs)
+	}
+	lb.mu.Unlock()
+	<-lb.done
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package shardrpc ships shard mining jobs to workers and collects their
+// results, turning MineSharded's component-parallel search into a
+// multi-machine fan-out (see DESIGN.md "Distributed shard exchange").
+//
+// The package is transport and policy only: a Job carries everything a
+// worker needs to mine one attribute-closed component group without ever
+// seeing the graph — the remapped vertex slice (per-local-vertex attribute
+// lists and local adjacency), the global attribute context (standard-table
+// frequencies), and the search options — and a Result carries back a
+// checksummed gob blob of the shardcache.Entry the group mined to. What to
+// do with entries (merge, cache, fall back) is the coordinator's business
+// (cspm.MineDistributed); how to mine a job is the injected Handler's
+// (cspm.ExecuteShardJob).
+//
+// Three Transport implementations cover the deployment spectrum: Loopback
+// runs jobs on an in-process worker pool (the zero-config default and the
+// bench scenario), Client speaks length-delimited gob over TCP to one or
+// more Server processes (cmd/cspm-worker), and Chaos wraps any of them with
+// a deterministic fault plan — drop, delay, duplicate, corrupt, truncate,
+// error, disconnect — for the equivalence-under-failure test suite.
+package shardrpc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"cspm/internal/graph"
+	"cspm/internal/shardcache"
+)
+
+// Job is one shard mining job: a self-contained description of an
+// attribute-closed component group plus the global context its gains must be
+// priced against. Local vertex ids are 0..len(Attrs)-1; attribute ids are
+// GLOBAL (the coordinator's interning), which is what keeps a remote
+// worker's entry bit-identical to a local shard run.
+type Job struct {
+	// ID identifies the job within one mining run; workers echo it in the
+	// Result so the coordinator can match (and deduplicate) responses.
+	ID uint64
+	// NumAttrValues is the size of the global attribute-id space (coreset
+	// arrays are indexed by attribute id, so the shard DB must span all of
+	// it even when the group uses a few values).
+	NumAttrValues int
+	// Attrs[li] lists the sorted global attribute ids of local vertex li.
+	Attrs [][]graph.AttrID
+	// Adj[li] lists the sorted local ids of li's neighbours. Component
+	// groups are edge-closed, so the rows describe the complete stars.
+	Adj [][]graph.VertexID
+	// STFreqs are the GLOBAL standard-table frequencies indexed by
+	// attribute id (mdl.NewStandardTableFromFreqs reconstructs the table).
+	STFreqs []int
+	// Variant, MaxIterations, DisableModelCost mirror the cspm.Options
+	// fields that shape the search result; Workers is the worker's local
+	// evaluator budget (0 = all of its cores) and never changes the result.
+	Variant          int
+	MaxIterations    int
+	DisableModelCost bool
+	Workers          int
+}
+
+// Validate sanity-checks the job's shape so a malformed or truncated job
+// fails cleanly on the worker instead of panicking mid-mine.
+func (j Job) Validate() error {
+	if j.NumAttrValues < 0 {
+		return fmt.Errorf("shardrpc: job %d: negative attribute space %d", j.ID, j.NumAttrValues)
+	}
+	if len(j.STFreqs) != j.NumAttrValues {
+		return fmt.Errorf("shardrpc: job %d: %d ST frequencies for %d attribute values", j.ID, len(j.STFreqs), j.NumAttrValues)
+	}
+	if len(j.Adj) != len(j.Attrs) {
+		return fmt.Errorf("shardrpc: job %d: %d adjacency rows for %d vertices", j.ID, len(j.Adj), len(j.Attrs))
+	}
+	n := len(j.Attrs)
+	for li, as := range j.Attrs {
+		for _, a := range as {
+			if a < 0 || int(a) >= j.NumAttrValues {
+				return fmt.Errorf("shardrpc: job %d: vertex %d carries attribute %d outside [0,%d)", j.ID, li, a, j.NumAttrValues)
+			}
+		}
+	}
+	for li, row := range j.Adj {
+		for _, u := range row {
+			if int(u) >= n {
+				return fmt.Errorf("shardrpc: job %d: vertex %d links to %d outside [0,%d)", j.ID, li, u, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is a worker's response to one Job. Exactly one of Blob or Err is
+// meaningful: a successful mine carries the entry blob and its checksum, a
+// worker-side failure carries the error text.
+type Result struct {
+	JobID uint64
+	// JobSum is the checksum of the job AS THE WORKER RECEIVED it
+	// (JobChecksum). The coordinator compares it against the checksum of
+	// the job it sent: a transport that mutated the job in flight — in a
+	// way that still decodes and validates — mined the wrong shard, and the
+	// mismatch rejects the result before it can poison the merge.
+	JobSum [sha256.Size]byte
+	// Blob is the gob-encoded shardcache.Entry — the same bytes the shard
+	// cache's disk layer stores, so a remote result and a cache hit are
+	// interchangeable downstream.
+	Blob []byte
+	// Sum is the SHA-256 of Blob, computed by the worker before the bytes
+	// travel; the coordinator rejects results whose blob no longer matches.
+	Sum [sha256.Size]byte
+	// Err is the worker-side failure, "" on success.
+	Err string
+}
+
+// JobChecksum digests a job's full content (gob encoding is deterministic
+// for equal values, and a decoded job re-encodes to the sender's bytes).
+// Sender and worker compute it independently on their own copy.
+func JobChecksum(j Job) ([sha256.Size]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(j); err != nil {
+		return [sha256.Size]byte{}, fmt.Errorf("shardrpc: encode job: %w", err)
+	}
+	return sha256.Sum256(buf.Bytes()), nil
+}
+
+// ErrCorruptResult tags results whose blob failed its checksum or did not
+// decode — the transport delivered bytes the worker never produced (or a
+// truncated prefix of them).
+var ErrCorruptResult = errors.New("shardrpc: result blob corrupt")
+
+// ErrClosed is returned by Submit after the transport closed.
+var ErrClosed = errors.New("shardrpc: transport closed")
+
+// JobError is a clean worker-side failure (the worker ran, and said no).
+type JobError struct {
+	JobID uint64
+	Msg   string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("shardrpc: job %d failed on worker: %s", e.JobID, e.Msg)
+}
+
+// EncodeEntry serialises e into the wire blob and its checksum.
+func EncodeEntry(e *shardcache.Entry) ([]byte, [sha256.Size]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, [sha256.Size]byte{}, fmt.Errorf("shardrpc: encode entry: %w", err)
+	}
+	return buf.Bytes(), sha256.Sum256(buf.Bytes()), nil
+}
+
+// DecodeEntry verifies blob against sum and decodes it. Any mismatch or
+// decode failure reports ErrCorruptResult: a flipped or missing byte must
+// surface as a retryable transport fault, never as a silently wrong model.
+func DecodeEntry(blob []byte, sum [sha256.Size]byte) (*shardcache.Entry, error) {
+	if sha256.Sum256(blob) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch over %d bytes", ErrCorruptResult, len(blob))
+	}
+	e := &shardcache.Entry{}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(e); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptResult, err)
+	}
+	return e, nil
+}
+
+// Handler mines one job into an entry — the worker-side search, injected by
+// the cspm package so this package stays mining-agnostic.
+type Handler func(Job) (*shardcache.Entry, error)
+
+// Transport moves jobs to workers and results back. Results may arrive out
+// of order, duplicated, late, or — on faulty transports — never; consumers
+// own matching, deduplication, timeouts and retries. Implementations must
+// accept concurrent Submit calls.
+type Transport interface {
+	// Submit enqueues one job for execution. An error means the transport
+	// could not accept the job at all (closed, all workers unreachable); an
+	// accepted job may still never produce a result.
+	Submit(job Job) error
+	// Results delivers worker responses. The channel is closed when the
+	// transport shuts down; a nil receive loop must treat that as "no
+	// further results will ever arrive".
+	Results() <-chan Result
+	// Close releases the transport's resources and eventually closes the
+	// results channel. Close is idempotent.
+	Close() error
+}
+
+// execute runs h over job, recovering panics into errors (one poisoned job
+// must not take down a worker serving other shards), and wraps the outcome
+// in a Result stamped with the received job's checksum.
+func execute(h Handler, job Job) Result {
+	jobSum, sumErr := JobChecksum(job)
+	if sumErr != nil {
+		return Result{JobID: job.ID, Err: sumErr.Error()}
+	}
+	e, err := func() (e *shardcache.Entry, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("handler panic: %v", r)
+			}
+		}()
+		return h(job)
+	}()
+	if err != nil {
+		return Result{JobID: job.ID, JobSum: jobSum, Err: err.Error()}
+	}
+	blob, sum, err := EncodeEntry(e)
+	if err != nil {
+		return Result{JobID: job.ID, JobSum: jobSum, Err: err.Error()}
+	}
+	return Result{JobID: job.ID, JobSum: jobSum, Blob: blob, Sum: sum}
+}

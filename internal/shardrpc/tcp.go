@@ -1,0 +1,280 @@
+package shardrpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Server turns a Handler into a TCP worker service: each connection carries
+// a gob stream of Jobs inbound and Results outbound. Jobs from one
+// connection execute concurrently up to the server's budget; results are
+// written in completion order (the coordinator matches by JobID, so order
+// is free to vary).
+type Server struct {
+	h           Handler
+	maxInFlight int
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+}
+
+// NewServer returns a worker server executing at most maxInFlight jobs
+// concurrently (0 = GOMAXPROCS).
+func NewServer(h Handler, maxInFlight int) *Server {
+	if maxInFlight <= 0 {
+		maxInFlight = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		h:           h,
+		maxInFlight: maxInFlight,
+		listeners:   make(map[net.Listener]struct{}),
+		conns:       make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until Close (or a listener error) and
+// serves shard jobs on each.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	sem := make(chan struct{}, s.maxInFlight)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("shardrpc: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn, sem)
+	}
+}
+
+// serveConn decodes jobs off one connection and streams results back. A
+// decode error (peer gone, stream garbled) ends the connection; in-flight
+// jobs finish and their writes fail silently — the coordinator's timeout
+// and retry own that loss.
+func (s *Server) serveConn(conn net.Conn, sem chan struct{}) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	var wg sync.WaitGroup
+	for {
+		var job Job
+		if err := dec.Decode(&job); err != nil {
+			break
+		}
+		wg.Add(1)
+		// The semaphore is acquired inside the goroutine so a saturated
+		// worker keeps READING: a read loop blocked on the mining budget
+		// would stop draining the socket, back-pressure the coordinator's
+		// Submit into its write deadline, and get a healthy-but-busy
+		// connection declared dead. Queued jobs cost one parked goroutine
+		// each — bounded by the coordinator's component count.
+		go func(job Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := execute(s.h, job)
+			encMu.Lock()
+			// A write failure means the coordinator hung up; nothing to do
+			// but stop — its retry path re-dispatches the job elsewhere.
+			_ = enc.Encode(res)
+			encMu.Unlock()
+		}(job)
+	}
+	wg.Wait()
+}
+
+// Close stops all listeners and connections. In-flight handlers finish but
+// their results may not reach the peer.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and serves shard jobs on it, returning the
+// bound listener address through ready (useful for ":0") before blocking in
+// Serve. Pass nil to skip the notification.
+func (s *Server) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("shardrpc: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return s.Serve(l)
+}
+
+// Client is the coordinator side of the TCP transport: it keeps one
+// connection per worker address, round-robins jobs across the live ones,
+// and funnels every connection's results into one channel. A connection
+// that fails is marked dead and skipped; Submit fails only when every
+// worker is unreachable (the coordinator then falls back to local mining).
+type Client struct {
+	out   chan Result
+	conns []*clientConn
+
+	mu     sync.Mutex
+	next   int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu   sync.Mutex
+	dead bool
+}
+
+// submitWriteTimeout bounds one job's write to a worker connection. A
+// stalled-but-connected peer (suspended process, blackholed route) fills
+// the socket buffer and would otherwise block Submit forever — before the
+// coordinator's own result timeout can even start counting. Jobs are at
+// most a component's vertex slice, so a healthy link finishes in far less.
+const submitWriteTimeout = 10 * time.Second
+
+// Dial connects to every worker address and returns the client transport.
+// It fails if ANY address is unreachable: a mistyped worker list should
+// surface at startup, not as silently reduced capacity.
+func Dial(addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shardrpc: no worker addresses")
+	}
+	c := &Client{out: make(chan Result, resultBuffer)}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shardrpc: dial %s: %w", addr, err)
+		}
+		cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn)}
+		c.conns = append(c.conns, cc)
+		c.wg.Add(1)
+		go c.readLoop(cc)
+	}
+	go func() {
+		c.wg.Wait()
+		close(c.out)
+	}()
+	return c, nil
+}
+
+// readLoop pumps one connection's results into the shared channel until the
+// stream breaks.
+func (c *Client) readLoop(cc *clientConn) {
+	defer c.wg.Done()
+	dec := gob.NewDecoder(cc.conn)
+	for {
+		var res Result
+		if err := dec.Decode(&res); err != nil {
+			cc.mu.Lock()
+			cc.dead = true
+			cc.mu.Unlock()
+			return
+		}
+		select {
+		case c.out <- res:
+		default:
+			// Buffer full with no reader (abandoned run): drop rather than
+			// wedge the read loop — the coordinator's retry owns the loss.
+		}
+	}
+}
+
+// Submit sends job to the next live worker connection.
+func (c *Client) Submit(job Job) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	start := c.next
+	c.next++
+	c.mu.Unlock()
+	for i := 0; i < len(c.conns); i++ {
+		cc := c.conns[(start+i)%len(c.conns)]
+		cc.mu.Lock()
+		if cc.dead {
+			cc.mu.Unlock()
+			continue
+		}
+		cc.conn.SetWriteDeadline(time.Now().Add(submitWriteTimeout))
+		err := cc.enc.Encode(job)
+		cc.conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			// A timed-out write leaves a partial job on the wire; the gob
+			// stream is unrecoverable either way, so the connection dies.
+			cc.dead = true
+			cc.conn.Close()
+		}
+		cc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("shardrpc: job %d: every worker connection is down", job.ID)
+}
+
+// Results delivers results from all worker connections.
+func (c *Client) Results() <-chan Result { return c.out }
+
+// Close tears down every connection; the results channel closes once the
+// readers drain.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, cc := range c.conns {
+		cc.conn.Close()
+	}
+	return nil
+}
