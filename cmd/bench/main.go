@@ -4,8 +4,9 @@
 // one run object, so successive entries track the performance trajectory
 // across PRs:
 //
-//	go run ./cmd/bench -label post-change            # Table III + micros + distributed → BENCH_1.json
+//	go run ./cmd/bench -label post-change            # Table III + micros + distributed + serving → BENCH_1.json
 //	go run ./cmd/bench -bench 'Table3' -benchtime 5x
+//	go run ./cmd/bench -bench 'Serve' -out BENCH_5.json  # query-throughput-during-re-mine baseline
 //
 // The file holds a JSON array of runs; each run carries the environment,
 // the label, and ns/op, B/op, allocs/op plus custom metrics per benchmark.
@@ -50,7 +51,7 @@ type Run struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
-	bench := flag.String("bench", "Table3|Micro|Distributed", "go test -bench pattern")
+	bench := flag.String("bench", "Table3|Micro|Distributed|Serve", "go test -bench pattern")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	out := flag.String("out", "BENCH_1.json", "trajectory file to append the run to")
 	label := flag.String("label", "", "run label recorded in the JSON (default: timestamp)")

@@ -1,0 +1,78 @@
+// Command cspm-serve hosts a mined CSPM model behind a long-running
+// HTTP/JSON API: reads are answered lock-free from an atomically swapped
+// immutable snapshot, writes arrive as batched mutations, and a background
+// loop incrementally re-mines the mutated graph (only dirty component
+// groups, optionally fanned out to cspm-worker fleets) and publishes the
+// next snapshot — so query latency never blocks on mining and a failed
+// re-mine degrades to staleness, never to unavailability.
+//
+// Endpoints: GET /v1/patterns, POST /v1/complete, GET /v1/model,
+// GET /v1/healthz, GET /v1/metrics, POST /v1/mutations.
+//
+// Usage:
+//
+//	cspm-serve [-listen :7480] [-shards K] [-cache-dir DIR] [-debounce D]
+//	           [-remote host:port,...] [-remote-timeout D] [-remote-retries N]
+//	           [-remote-no-fallback] graph.txt
+//
+// With "-" as the file name, the initial graph is read from stdin. On
+// SIGINT/SIGTERM the server drains in-flight requests, persists the shard
+// cache (when -cache-dir is set) and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cspm/internal/cli"
+)
+
+func main() {
+	cfg := cli.ServeConfig{}
+	flag.StringVar(&cfg.Listen, "listen", ":7480", "host:port to serve the /v1 API on")
+	flag.IntVar(&cfg.Shards, "shards", 0, "max concurrently re-mining component groups (0 = all cores)")
+	flag.StringVar(&cfg.CacheDir, "cache-dir", "", "persist shard results under this directory (warm start + shutdown flush)")
+	flag.DurationVar(&cfg.Debounce, "debounce", 100*time.Millisecond, "coalescing window before a re-mine (0 = immediate)")
+	flag.StringVar(&cfg.Remote, "remote", "", "re-mine over these comma-separated cspm-worker addresses")
+	flag.DurationVar(&cfg.RemoteTimeout, "remote-timeout", 0, "per-attempt wait for a remote shard result (0 = default)")
+	flag.IntVar(&cfg.RemoteRetries, "remote-retries", 0, "re-submissions per shard job before local fallback")
+	flag.BoolVar(&cfg.RemoteNoFallback, "remote-no-fallback", false, "fail a re-mine instead of mining failed shard jobs locally")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cspm-serve [flags] graph.txt (or - for stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var in *os.File = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cspm-serve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	addr, shutdown, err := cli.StartServe(in, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspm-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cspm-serve: serving /v1 on %s\n", addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "cspm-serve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cspm-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
 	"cspm/internal/krimp"
+	"cspm/internal/serve"
 	"cspm/internal/shardcache"
 	"cspm/internal/shardrpc"
 	"cspm/internal/slim"
@@ -198,6 +199,35 @@ func MineDistributed(g *Graph, opts DistributedOptions) (*Model, error) {
 // Close it after mining.
 func DialShardWorkers(addrs []string) (ShardTransport, error) {
 	return shardrpc.Dial(addrs)
+}
+
+// Online serving: a long-running HTTP/JSON host for a mined model. Reads
+// are answered from an atomically swapped immutable snapshot; mutations are
+// ingested in batches and folded in by a background incremental re-mine.
+type (
+	// Server hosts a live graph plus its mined model behind the /v1 API
+	// (patterns, completion, model stats, health, metrics, mutations).
+	Server = serve.Server
+	// ServerOptions configures a Server: search options, shard cache,
+	// optional worker transport, and the re-mine coalescing window.
+	ServerOptions = serve.Options
+	// ServerSnapshot is one immutable serving state: generation, graph,
+	// model, and the completion scorer built over both.
+	ServerSnapshot = serve.Snapshot
+	// GraphMutation is one vertex-attribute or edge edit submitted to a
+	// Server's mutation log.
+	GraphMutation = serve.Mutation
+	// ServerMetrics is the server's counters snapshot (/v1/metrics).
+	ServerMetrics = serve.MetricsSnapshot
+)
+
+// NewServer validates opts, mines g synchronously for the generation-1
+// snapshot, and starts the background re-mine loop. The returned Server is
+// an http.Handler serving the /v1 API; Close it to stop the loop (and flush
+// the cache when ServerOptions.PersistDir is set). After each successful
+// re-mine the served model is bit-identical to Mine on the mutated graph.
+func NewServer(g *Graph, opts ServerOptions) (*Server, error) {
+	return serve.NewServer(g, opts)
 }
 
 // MineMultiCore runs the §IV-F general mode: multi-value coresets are first

@@ -5,9 +5,11 @@ package cli
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"cspm/internal/dataset"
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
+	"cspm/internal/serve"
 	"cspm/internal/shardcache"
 	"cspm/internal/shardrpc"
 	"cspm/internal/slim"
@@ -317,6 +320,122 @@ func StartWorker(cfg WorkerConfig) (addr string, stop func(), err error) {
 	srv := shardrpc.NewServer(cspm.ExecuteShardJob, cfg.Workers)
 	go srv.Serve(l)
 	return l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// ServeConfig mirrors cmd/cspm-serve's flags.
+type ServeConfig struct {
+	// Listen is the host:port to serve the /v1 HTTP API on (":0" picks a
+	// free port; the bound address is returned by StartServe).
+	Listen string
+	// Shards bounds how many dirty component groups re-mine concurrently
+	// (0 = all cores), exactly as in cspm -shards.
+	Shards int
+	// CacheDir persists shard results under this directory: re-mines warm
+	// from it at startup and the cache is flushed back on shutdown. ""
+	// keeps the cache in memory only.
+	CacheDir string
+	// Debounce is the re-mine coalescing window (0 = re-mine immediately).
+	Debounce time.Duration
+	// Remote and its knobs mirror cspm -remote*: fan dirty groups out to
+	// cspm-worker fleets instead of mining in-process.
+	Remote           string
+	RemoteTimeout    time.Duration
+	RemoteRetries    int
+	RemoteNoFallback bool
+}
+
+// StartServe validates cfg, reads the initial graph from r, mines it, binds
+// the listener and serves the /v1 API in a background goroutine. It returns
+// the bound address and a shutdown function that drains in-flight requests
+// (bounded by ctx), stops the re-mine loop, flushes the shard cache to
+// CacheDir when set, and closes any worker transport. All flag validation
+// happens before the (possibly huge) graph read, mirroring Mine's
+// validate-before-load contract.
+func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(context.Context) error, err error) {
+	if cfg.Listen == "" {
+		return "", nil, fmt.Errorf("-listen must name a host:port to serve on")
+	}
+	if _, _, err := net.SplitHostPort(cfg.Listen); err != nil {
+		return "", nil, fmt.Errorf("bad -listen address %q (want host:port): %v", cfg.Listen, err)
+	}
+	if cfg.Debounce < 0 {
+		return "", nil, fmt.Errorf("-debounce must be >= 0, got %v", cfg.Debounce)
+	}
+	var workerAddrs []string
+	if cfg.Remote != "" {
+		if workerAddrs, err = parseRemoteAddrs(cfg.Remote); err != nil {
+			return "", nil, err
+		}
+	} else if cfg.RemoteTimeout != 0 || cfg.RemoteRetries != 0 || cfg.RemoteNoFallback {
+		return "", nil, fmt.Errorf("-remote-timeout, -remote-retries and -remote-no-fallback require -remote")
+	}
+	opts := serve.Options{
+		Mining:        cspm.Options{Shards: cfg.Shards, CollectStats: true},
+		PersistDir:    cfg.CacheDir,
+		Debounce:      cfg.Debounce,
+		RemoteTimeout: cfg.RemoteTimeout, RemoteRetries: cfg.RemoteRetries,
+		RemoteNoFallback: cfg.RemoteNoFallback,
+	}
+	if err := opts.Validate(); err != nil {
+		return "", nil, err
+	}
+	if cfg.CacheDir != "" {
+		// Disk-backed: re-mines warm-start from blobs persisted by earlier
+		// runs, and writes reach disk eagerly (the shutdown flush is then a
+		// cheap idempotent rewrite that also covers entries admitted from
+		// disk after an eviction).
+		if opts.Cache, err = shardcache.Open(0, cfg.CacheDir); err != nil {
+			return "", nil, err
+		}
+	}
+	var transport shardrpc.Transport
+	if cfg.Remote != "" {
+		// Dial before the graph load so an unreachable fleet fails as fast
+		// as a typo'd flag.
+		if transport, err = shardrpc.Dial(workerAddrs); err != nil {
+			return "", nil, err
+		}
+		opts.Transport = transport
+	}
+	closeTransport := func() {
+		if transport != nil {
+			transport.Close()
+		}
+	}
+	// Bind before the graph load: an occupied or privileged port must fail
+	// as fast as a typo'd flag, not after minutes of loading and mining.
+	// Nothing is served off the listener until hs.Serve below.
+	l, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		closeTransport()
+		return "", nil, err
+	}
+	g, err := graph.Load(r)
+	if err != nil {
+		l.Close()
+		closeTransport()
+		return "", nil, err
+	}
+	sv, err := serve.NewServer(g, opts)
+	if err != nil {
+		l.Close()
+		closeTransport()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: sv}
+	go hs.Serve(l)
+	shutdown = func(ctx context.Context) error {
+		// Drain first (Shutdown waits for in-flight responses to complete),
+		// then stop mining and flush the cache, then drop the workers.
+		drainErr := hs.Shutdown(ctx)
+		closeErr := sv.Close()
+		closeTransport()
+		if drainErr != nil {
+			return drainErr
+		}
+		return closeErr
+	}
+	return l.Addr().String(), shutdown, nil
 }
 
 // WriteGraph emits g with a stats header in the Load format.

@@ -2,6 +2,12 @@ package cli
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -321,5 +327,167 @@ func TestWriteGraphRoundTrip(t *testing.T) {
 	}
 	if out.Len() == 0 {
 		t.Fatal("no patterns from generated dataset")
+	}
+}
+
+// --- cspm-serve -----------------------------------------------------------
+
+func TestStartServeValidatesBeforeLoad(t *testing.T) {
+	for _, cfg := range []ServeConfig{
+		{},                  // missing listen
+		{Listen: "no-port"}, // not host:port
+		{Listen: "127.0.0.1:0", Debounce: -time.Second},
+		{Listen: "127.0.0.1:0", RemoteRetries: 1},           // remote knob without -remote
+		{Listen: "127.0.0.1:0", RemoteTimeout: time.Second}, // remote knob without -remote
+		{Listen: "127.0.0.1:0", RemoteNoFallback: true},     // remote knob without -remote
+		{Listen: "127.0.0.1:0", Remote: "not-an-address"},
+		{Listen: "127.0.0.1:0", Shards: -1},
+		{Listen: "127.0.0.1:0", CacheDir: "/dev/null/not-a-dir"},
+		{Listen: "127.0.0.1:0", Remote: "127.0.0.1:1"}, // unreachable fleet rejected pre-load
+	} {
+		addr, shutdown, err := StartServe(failingReader{t}, cfg)
+		if err == nil {
+			shutdown(context.Background())
+			t.Fatalf("invalid config %+v accepted (bound %s)", cfg, addr)
+		}
+	}
+	// An occupied port must also fail before the graph read: the listener
+	// binds pre-load precisely so a doomed serve never mines.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if addr, shutdown, err := StartServe(failingReader{t}, ServeConfig{Listen: l.Addr().String()}); err == nil {
+		shutdown(context.Background())
+		t.Fatalf("occupied port accepted (bound %s)", addr)
+	}
+}
+
+// serveGet fetches a JSON document from a running serve instance.
+func serveGet(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeEndToEnd drives the full cspm-serve lifecycle: serve a graph,
+// mutate it over HTTP, watch the generation advance, then shut down
+// gracefully with an in-flight request held open across the drain — the
+// response must complete and the shard cache must be persisted.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addr, shutdown, err := StartServe(strings.NewReader(twoIslandText), ServeConfig{
+		Listen:   "127.0.0.1:0",
+		CacheDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	var health struct {
+		Generation uint64 `json:"generation"`
+	}
+	if code := serveGet(t, base+"/v1/healthz", &health); code != http.StatusOK || health.Generation != 1 {
+		t.Fatalf("healthz: code=%d gen=%d", code, health.Generation)
+	}
+
+	// Mutate over HTTP and wait for the snapshot swap.
+	mutBody := `{"mutations":[{"op":"add_edge","u":0,"v":4},{"op":"add_attr","u":3,"value":"c"}]}`
+	resp, err := http.Post(base+"/v1/mutations", "application/json", strings.NewReader(mutBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mutations: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for health.Generation < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("generation never reached 2")
+		}
+		serveGet(t, base+"/v1/healthz", &health)
+	}
+
+	// Hold a /v1/complete request open (headers sent, body pending), then
+	// shut down: the drain must finish the response, not drop it.
+	pr, pw := io.Pipe()
+	type result struct {
+		code int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/complete", pr)
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- result{code: resp.StatusCode}
+	}()
+	// Wait until the handler has the request (its counter ticks) before
+	// starting the drain.
+	var met struct {
+		Complete uint64 `json:"requests_complete"`
+	}
+	for met.Complete == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight request never reached the handler")
+		}
+		serveGet(t, base+"/v1/metrics", &met)
+	}
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- shutdown(ctx)
+	}()
+	// The listener is down once new connections start failing; our held
+	// request must still be alive inside the drain window.
+	for {
+		if _, err := http.Get(base + "/v1/healthz"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown never closed the listener")
+		}
+	}
+	if _, err := pw.Write([]byte(`{"vertices":[0]}`)); err != nil {
+		t.Fatalf("writing body mid-drain: %v", err)
+	}
+	pw.Close()
+	got := <-inflight
+	if got.err != nil || got.code != http.StatusOK {
+		t.Fatalf("in-flight request dropped by shutdown: code=%d err=%v", got.code, got.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The shard cache must have been persisted for the next warm start.
+	blobs, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) == 0 {
+		t.Fatal("shutdown left no shard blobs in -cache-dir")
 	}
 }

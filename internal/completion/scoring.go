@@ -91,18 +91,30 @@ func Fuse(modelScores, cspmScores *tensor.Matrix, testNodes []graph.VertexID) *t
 	out := modelScores.Clone()
 	for _, v := range testNodes {
 		mrow := out.Row(int(v))
-		crow := cspmScores.Row(int(v))
-		mn := normalizeRow(mrow)
-		cn := normalizeRow(crow)
-		if cn == nil {
-			copy(mrow, mn)
-			continue
-		}
-		for j := range mrow {
-			mrow[j] = mn[j] * cn[j]
+		if fused := FuseRows(mrow, cspmScores.Row(int(v))); fused != nil {
+			copy(mrow, fused)
 		}
 	}
 	return out
+}
+
+// FuseRows fuses one vertex's model and CSPM score rows with Fuse's exact
+// per-row rule, without requiring whole-graph matrices — the row-granular
+// entry point the serving layer scores requests through. It returns nil
+// when the model row carries no finite signal (nothing to fuse onto).
+func FuseRows(modelRow, cspmRow []float64) []float64 {
+	mn := normalizeRow(modelRow)
+	if mn == nil {
+		return nil
+	}
+	cn := normalizeRow(cspmRow)
+	if cn == nil {
+		return mn
+	}
+	for j := range mn {
+		mn[j] *= cn[j]
+	}
+	return mn
 }
 
 // normalizeRow min-max normalises a copy of row into [ε, 1]; returns nil if

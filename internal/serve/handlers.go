@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"cspm/internal/completion"
+	"cspm/internal/graph"
+)
+
+// Wire types of the /v1 JSON API. Struct field ORDER is part of the
+// contract — encoding/json emits fields in declaration order, and the
+// golden fixtures under testdata/ pin the bytes — so new fields go at the
+// end and nothing gets reordered.
+
+// PatternJSON is one ranked a-star on the wire. Core and leaf values are
+// spelled by name (ids are an internal detail that changes across
+// generations).
+type PatternJSON struct {
+	Core       []string `json:"core"`
+	Leaf       []string `json:"leaf"`
+	FL         int      `json:"fl"`
+	FC         int      `json:"fc"`
+	Confidence float64  `json:"confidence"`
+	CodeLen    float64  `json:"code_len"`
+}
+
+// PatternsResponse is the GET /v1/patterns payload: one page of the
+// snapshot's ranked pattern list.
+type PatternsResponse struct {
+	Generation uint64        `json:"generation"`
+	Total      int           `json:"total"`
+	Offset     int           `json:"offset"`
+	Limit      int           `json:"limit"`
+	Patterns   []PatternJSON `json:"patterns"`
+}
+
+// ModelResponse is the GET /v1/model payload: the served model's summary
+// statistics and run diagnostics.
+type ModelResponse struct {
+	Generation       uint64  `json:"generation"`
+	Vertices         int     `json:"vertices"`
+	Edges            int     `json:"edges"`
+	AttrValues       int     `json:"attr_values"`
+	BaselineDL       float64 `json:"baseline_dl"`
+	FinalDL          float64 `json:"final_dl"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	CondEntropy      float64 `json:"cond_entropy"`
+	Patterns         int     `json:"patterns"`
+	MultiLeaf        int     `json:"multi_leaf"`
+	Iterations       int     `json:"iterations"`
+	GainEvals        int     `json:"gain_evals"`
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+	CacheEvictions   int     `json:"cache_evictions"`
+	RemoteJobs       int     `json:"remote_jobs"`
+	RemoteRetries    int     `json:"remote_retries"`
+	LocalFallbacks   int     `json:"local_fallbacks"`
+}
+
+// CompleteRequest is the POST /v1/complete payload: vertices to score, how
+// many candidates to return per vertex, and optionally per-vertex external
+// model score rows (dense, length |A|, keyed by decimal vertex id) to fuse
+// with the CSPM scores as in Fig. 7.
+type CompleteRequest struct {
+	Vertices    []graph.VertexID     `json:"vertices"`
+	TopK        int                  `json:"top_k,omitempty"`
+	ModelScores map[string][]float64 `json:"model_scores,omitempty"`
+}
+
+// CandidateJSON is one scored attribute value.
+type CandidateJSON struct {
+	Value string  `json:"value"`
+	Score float64 `json:"score"`
+}
+
+// CompleteVertexJSON is one vertex's ranked completion candidates.
+type CompleteVertexJSON struct {
+	Vertex graph.VertexID  `json:"vertex"`
+	Values []CandidateJSON `json:"values"`
+}
+
+// CompleteResponse is the POST /v1/complete payload. Generation names the
+// snapshot every score in Results came from.
+type CompleteResponse struct {
+	Generation uint64               `json:"generation"`
+	Results    []CompleteVertexJSON `json:"results"`
+}
+
+// MutationsRequest is the POST /v1/mutations payload.
+type MutationsRequest struct {
+	Mutations []Mutation `json:"mutations"`
+}
+
+// MutationsResponse acknowledges an accepted batch: how many mutations were
+// appended, the total backlog the served snapshot does not cover yet, and
+// the generation still being served (the re-mine is asynchronous).
+type MutationsResponse struct {
+	Accepted   int    `json:"accepted"`
+	Pending    int    `json:"pending"`
+	Generation uint64 `json:"generation"`
+}
+
+// HealthResponse is the GET /v1/healthz payload.
+type HealthResponse struct {
+	Status             string  `json:"status"`
+	Generation         uint64  `json:"generation"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	PendingMutations   int     `json:"pending_mutations"`
+}
+
+const (
+	defaultPageLimit = 50
+	maxPageLimit     = 1000
+	defaultTopK      = 10
+	maxTopK          = 1000
+	// maxCompleteVertices bounds one completion request's scoring work.
+	maxCompleteVertices = 1000
+	// maxRequestBody bounds POST bodies: a long-running server must not
+	// let one client materialise an unbounded JSON document in memory.
+	maxRequestBody = 8 << 20
+)
+
+// routes builds the /v1 mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
+	mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/mutations", s.handleMutations)
+	return mux
+}
+
+// writeJSON emits one response object. Responses are small relative to the
+// models behind them, so buffering through the encoder directly is fine.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// badRequest rejects a request with a JSON error body.
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.met.badRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q: want an integer", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	s.met.patternsReqs.Add(1)
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil || offset < 0 {
+		s.badRequest(w, "bad offset: want a non-negative integer")
+		return
+	}
+	limit, err := queryInt(r, "limit", defaultPageLimit)
+	if err != nil || limit <= 0 || limit > maxPageLimit {
+		s.badRequest(w, "bad limit: want an integer in [1,%d]", maxPageLimit)
+		return
+	}
+	snap := s.snap.Load()
+	patterns := snap.Model.Patterns
+	if r.URL.Query().Get("multileaf") == "1" {
+		patterns = snap.MultiLeaf
+	}
+	resp := PatternsResponse{
+		Generation: snap.Generation,
+		Total:      len(patterns),
+		Offset:     offset,
+		Limit:      limit,
+		Patterns:   []PatternJSON{},
+	}
+	vocab := snap.Graph.Vocab()
+	for i := offset; i < len(patterns) && i < offset+limit; i++ {
+		p := patterns[i]
+		resp.Patterns = append(resp.Patterns, PatternJSON{
+			Core:       attrNames(vocab, p.CoreValues),
+			Leaf:       attrNames(vocab, p.LeafValues),
+			FL:         p.FL,
+			FC:         p.FC,
+			Confidence: p.Confidence(),
+			CodeLen:    p.CodeLen,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	s.met.completeReqs.Add(1)
+	var req CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		s.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if len(req.Vertices) == 0 {
+		s.badRequest(w, "vertices must name at least one vertex")
+		return
+	}
+	if len(req.Vertices) > maxCompleteVertices {
+		s.badRequest(w, "too many vertices: %d (max %d per request)", len(req.Vertices), maxCompleteVertices)
+		return
+	}
+	topK := req.TopK
+	if topK == 0 {
+		topK = defaultTopK
+	}
+	if topK < 0 || topK > maxTopK {
+		s.badRequest(w, "bad top_k: want an integer in [1,%d]", maxTopK)
+		return
+	}
+	// One snapshot for the whole request: the generation answered below is
+	// the generation every score was computed against, even if a re-mine
+	// publishes mid-request.
+	snap := s.snap.Load()
+	n := snap.Graph.NumVertices()
+	nA := snap.Graph.NumAttrValues()
+	for _, v := range req.Vertices {
+		if int(v) >= n {
+			s.badRequest(w, "vertex %d outside range [0,%d)", v, n)
+			return
+		}
+	}
+	fuse, err := parseModelScores(req.ModelScores, n, nA)
+	if err != nil {
+		s.badRequest(w, "bad model_scores: %v", err)
+		return
+	}
+
+	// Score and rank once per DISTINCT vertex; duplicated request entries
+	// share the result. Fusion is row-granular (completion.FuseRows):
+	// whole-graph matrices would cost |V|×|A| per request, and fusing a
+	// duplicated vertex twice would square the CSPM weighting.
+	vocab := snap.Graph.Vocab()
+	ranked := make(map[graph.VertexID][]CandidateJSON, len(req.Vertices))
+	for _, v := range req.Vertices {
+		if _, done := ranked[v]; done {
+			continue
+		}
+		row := snap.Scorer.ScoreNode(v)
+		if mrow, ok := fuse[v]; ok {
+			if f := completion.FuseRows(mrow, row); f != nil {
+				row = f
+			} else {
+				row = mrow // no finite signal anywhere: rank the raw model row
+			}
+		}
+		ranked[v] = rankRow(row, vocab, topK)
+	}
+
+	resp := CompleteResponse{Generation: snap.Generation}
+	for _, v := range req.Vertices {
+		resp.Results = append(resp.Results, CompleteVertexJSON{Vertex: v, Values: ranked[v]})
+	}
+	s.met.verticesScored.Add(uint64(len(req.Vertices)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseModelScores validates the optional fusion rows: decimal vertex keys
+// in range, dense rows of exactly |A| finite scores (an Inf/NaN would slip
+// through min-max normalisation and silently drop values from the ranking).
+func parseModelScores(raw map[string][]float64, n, nA int) (map[graph.VertexID][]float64, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[graph.VertexID][]float64, len(raw))
+	for key, row := range raw {
+		id, err := strconv.ParseUint(key, 10, 32)
+		if err != nil || int(id) >= n {
+			return nil, fmt.Errorf("key %q is not a vertex id in [0,%d)", key, n)
+		}
+		if len(row) != nA {
+			return nil, fmt.Errorf("row for vertex %s has %d scores, want |A|=%d", key, len(row), nA)
+		}
+		for j, score := range row {
+			if math.IsInf(score, 0) || math.IsNaN(score) {
+				return nil, fmt.Errorf("row for vertex %s has non-finite score %v at %d", key, score, j)
+			}
+		}
+		out[graph.VertexID(id)] = row
+	}
+	return out, nil
+}
+
+// rankRow returns the top-k finite scores of row as named candidates,
+// ordered by descending score with ascending value name as the tie-break
+// (deterministic across identical snapshots).
+func rankRow(row []float64, vocab *graph.Vocab, k int) []CandidateJSON {
+	out := make([]CandidateJSON, 0, len(row))
+	for id, score := range row {
+		if math.IsInf(score, 0) || math.IsNaN(score) {
+			continue
+		}
+		out = append(out, CandidateJSON{Value: vocab.Name(graph.AttrID(id)), Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.met.modelReqs.Add(1)
+	snap := s.snap.Load()
+	m := snap.Model
+	writeJSON(w, http.StatusOK, ModelResponse{
+		Generation:       snap.Generation,
+		Vertices:         snap.Graph.NumVertices(),
+		Edges:            snap.Graph.NumEdges(),
+		AttrValues:       snap.Graph.NumAttrValues(),
+		BaselineDL:       m.BaselineDL,
+		FinalDL:          m.FinalDL,
+		CompressionRatio: m.CompressionRatio(),
+		CondEntropy:      m.CondEntropy,
+		Patterns:         len(m.Patterns),
+		MultiLeaf:        len(snap.MultiLeaf),
+		Iterations:       m.Iterations,
+		GainEvals:        m.GainEvals,
+		CacheHits:        m.CacheHits,
+		CacheMisses:      m.CacheMisses,
+		CacheEvictions:   m.CacheEvictions,
+		RemoteJobs:       m.RemoteJobs,
+		RemoteRetries:    m.RemoteRetries,
+		LocalFallbacks:   m.LocalFallbacks,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.healthReqs.Add(1)
+	// One snapshot load for both fields: generation and age must describe
+	// the SAME snapshot even if a re-mine publishes mid-request.
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:             "ok",
+		Generation:         snap.Generation,
+		SnapshotAgeSeconds: time.Since(snap.PublishedAt).Seconds(),
+		PendingMutations:   s.PendingMutations(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.metricsReqs.Add(1)
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
+	s.met.mutationReqs.Add(1)
+	var req MutationsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		s.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if err := s.SubmitMutations(req.Mutations); err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, MutationsResponse{
+		Accepted:   len(req.Mutations),
+		Pending:    s.PendingMutations(),
+		Generation: s.snap.Load().Generation,
+	})
+}
+
+// attrNames renders interned ids by name, sorted for a stable wire order.
+func attrNames(v *graph.Vocab, ids []graph.AttrID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = v.Name(id)
+	}
+	sort.Strings(out)
+	return out
+}

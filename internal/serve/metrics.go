@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's lifetime counters. Everything is atomic so the
+// handlers never take a lock on the read path.
+type metrics struct {
+	patternsReqs   atomic.Uint64
+	completeReqs   atomic.Uint64
+	modelReqs      atomic.Uint64
+	healthReqs     atomic.Uint64
+	metricsReqs    atomic.Uint64
+	mutationReqs   atomic.Uint64
+	badRequests    atomic.Uint64
+	verticesScored atomic.Uint64
+
+	mutationsAccepted atomic.Uint64
+	mutationsRejected atomic.Uint64
+
+	remines          atomic.Uint64
+	remineFailures   atomic.Uint64
+	remineNanosTotal atomic.Int64
+	remineNanosLast  atomic.Int64
+}
+
+// MetricsSnapshot is the GET /v1/metrics payload: expvar-style flat
+// counters plus the snapshot's identity and age. Field order is part of
+// the wire contract (pinned by the golden fixture test).
+type MetricsSnapshot struct {
+	RequestsPatterns  uint64 `json:"requests_patterns"`
+	RequestsComplete  uint64 `json:"requests_complete"`
+	RequestsModel     uint64 `json:"requests_model"`
+	RequestsHealthz   uint64 `json:"requests_healthz"`
+	RequestsMetrics   uint64 `json:"requests_metrics"`
+	RequestsMutations uint64 `json:"requests_mutations"`
+	BadRequests       uint64 `json:"bad_requests"`
+	VerticesScored    uint64 `json:"vertices_scored"`
+
+	MutationsAccepted uint64 `json:"mutations_accepted"`
+	MutationsRejected uint64 `json:"mutations_rejected"`
+	PendingMutations  int    `json:"pending_mutations"`
+
+	Remines            uint64  `json:"remines"`
+	RemineFailures     uint64  `json:"remine_failures"`
+	RemineSecondsTotal float64 `json:"remine_seconds_total"`
+	RemineSecondsLast  float64 `json:"remine_seconds_last"`
+
+	SnapshotGeneration uint64  `json:"snapshot_generation"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+}
+
+// Metrics snapshots the server's counters and the served snapshot's
+// generation and age.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.snap.Load()
+	return MetricsSnapshot{
+		RequestsPatterns:  s.met.patternsReqs.Load(),
+		RequestsComplete:  s.met.completeReqs.Load(),
+		RequestsModel:     s.met.modelReqs.Load(),
+		RequestsHealthz:   s.met.healthReqs.Load(),
+		RequestsMetrics:   s.met.metricsReqs.Load(),
+		RequestsMutations: s.met.mutationReqs.Load(),
+		BadRequests:       s.met.badRequests.Load(),
+		VerticesScored:    s.met.verticesScored.Load(),
+
+		MutationsAccepted: s.met.mutationsAccepted.Load(),
+		MutationsRejected: s.met.mutationsRejected.Load(),
+		PendingMutations:  s.PendingMutations(),
+
+		Remines:            s.met.remines.Load(),
+		RemineFailures:     s.met.remineFailures.Load(),
+		RemineSecondsTotal: time.Duration(s.met.remineNanosTotal.Load()).Seconds(),
+		RemineSecondsLast:  time.Duration(s.met.remineNanosLast.Load()).Seconds(),
+
+		SnapshotGeneration: snap.Generation,
+		SnapshotAgeSeconds: time.Since(snap.PublishedAt).Seconds(),
+	}
+}

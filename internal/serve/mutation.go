@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"fmt"
+
+	"cspm/internal/graph"
+)
+
+// Mutation ops. Mutations edit vertex attributes and edges of the live
+// graph; the vertex count is fixed at serve time, so vertex-range
+// validation against any snapshot stays correct across pending batches.
+const (
+	// OpAddAttr attaches Value to vertex U (no-op if already present).
+	OpAddAttr = "add_attr"
+	// OpDelAttr detaches Value from vertex U (no-op if absent).
+	OpDelAttr = "del_attr"
+	// OpAddEdge inserts the undirected edge {U, V} (no-op if present).
+	OpAddEdge = "add_edge"
+	// OpDelEdge removes the undirected edge {U, V} (no-op if absent).
+	OpDelEdge = "del_edge"
+)
+
+// Mutation is one edit to the served graph, the unit of the mutation log
+// and of the POST /v1/mutations wire format.
+type Mutation struct {
+	Op string `json:"op"`
+	// U is the edited vertex (attribute ops) or one edge endpoint.
+	U graph.VertexID `json:"u"`
+	// V is the other edge endpoint (edge ops only).
+	V graph.VertexID `json:"v,omitempty"`
+	// Value is the attribute value (attribute ops only).
+	Value string `json:"value,omitempty"`
+}
+
+// validate rejects malformed mutations against a graph of n vertices.
+func (m Mutation) validate(n int) error {
+	switch m.Op {
+	case OpAddAttr, OpDelAttr:
+		if int(m.U) >= n {
+			return fmt.Errorf("vertex %d outside range [0,%d)", m.U, n)
+		}
+		if m.Value == "" {
+			return fmt.Errorf("%s needs a non-empty value", m.Op)
+		}
+		if m.V != 0 {
+			return fmt.Errorf("%s takes no second vertex (got v=%d)", m.Op, m.V)
+		}
+	case OpAddEdge, OpDelEdge:
+		if int(m.U) >= n || int(m.V) >= n {
+			return fmt.Errorf("edge {%d,%d} outside vertex range [0,%d)", m.U, m.V, n)
+		}
+		if m.U == m.V {
+			return fmt.Errorf("self-loop {%d,%d} is not allowed", m.U, m.V)
+		}
+		if m.Value != "" {
+			return fmt.Errorf("%s takes no value (got %q)", m.Op, m.Value)
+		}
+	default:
+		return fmt.Errorf("unknown op %q (want %s, %s, %s or %s)",
+			m.Op, OpAddAttr, OpDelAttr, OpAddEdge, OpDelEdge)
+	}
+	return nil
+}
+
+// Rebuild applies muts to g and freezes the result into a new immutable
+// graph. The caller must have validated every mutation against g.
+//
+// The new graph re-interns g's full vocabulary first, in g's id order, and
+// only then interns values first seen in muts (in mutation order). Keeping
+// the id assignment a stable prefix is what lets the shard cache replay
+// entries across rebuilds: cached line stats store interned ids, and the
+// name-canonical fingerprints only guarantee a hit when equal ids still
+// mean equal names. A value whose last occurrence is deleted keeps its id
+// for the same reason.
+func Rebuild(g *graph.Graph, muts []Mutation) *graph.Graph {
+	n := g.NumVertices()
+	b := graph.NewBuilder(n)
+	vocab := b.Vocab()
+	for _, name := range g.Vocab().Names() {
+		vocab.ID(name)
+	}
+
+	attrs := make([]map[graph.AttrID]struct{}, n)
+	for v := 0; v < n; v++ {
+		if lst := g.Attrs(graph.VertexID(v)); len(lst) > 0 {
+			set := make(map[graph.AttrID]struct{}, len(lst))
+			for _, a := range lst {
+				set[a] = struct{}{}
+			}
+			attrs[v] = set
+		}
+	}
+	edges := make(map[[2]graph.VertexID]struct{}, g.NumEdges())
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < u {
+				edges[[2]graph.VertexID{graph.VertexID(v), u}] = struct{}{}
+			}
+		}
+	}
+
+	for _, m := range muts {
+		switch m.Op {
+		case OpAddAttr:
+			if attrs[m.U] == nil {
+				attrs[m.U] = make(map[graph.AttrID]struct{})
+			}
+			attrs[m.U][vocab.ID(m.Value)] = struct{}{}
+		case OpDelAttr:
+			// Lookup, not ID: deleting a never-seen value must not intern it.
+			if id, ok := vocab.Lookup(m.Value); ok && attrs[m.U] != nil {
+				delete(attrs[m.U], id)
+			}
+		case OpAddEdge:
+			edges[edgeKey(m.U, m.V)] = struct{}{}
+		case OpDelEdge:
+			delete(edges, edgeKey(m.U, m.V))
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		for a := range attrs[v] {
+			// Ids and vertices were validated; Builder cannot fail here.
+			_ = b.AddAttrID(graph.VertexID(v), a)
+		}
+	}
+	for e := range edges {
+		_ = b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// edgeKey normalises an undirected edge to (min, max).
+func edgeKey(u, v graph.VertexID) [2]graph.VertexID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.VertexID{u, v}
+}

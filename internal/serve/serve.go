@@ -1,0 +1,442 @@
+// Package serve hosts a mined CSPM model behind a long-running HTTP/JSON
+// service: the online half of the ROADMAP's production-scale system. A
+// Server owns a live attributed graph plus its mined model and answers
+// every read from an immutable snapshot published by atomic pointer swap,
+// so query latency never blocks on mining. Writes arrive as batched
+// mutations (vertex-attribute and edge edits) appended to a mutation log; a
+// background re-mine loop coalesces pending batches, rebuilds the graph,
+// re-mines it through the incremental cached miner (only component groups
+// whose fingerprint changed are re-mined) or the distributed miner when a
+// transport is configured, and publishes the next snapshot. A failed or
+// poisoned re-mine keeps the last good snapshot serving and re-queues the
+// batch, so the service degrades to staleness, never to unavailability.
+// See DESIGN.md "Online serving".
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cspm/internal/completion"
+	icspm "cspm/internal/cspm"
+	"cspm/internal/graph"
+	"cspm/internal/shardcache"
+	"cspm/internal/shardrpc"
+)
+
+// Options configures a Server. The zero value serves with the paper's
+// parameter-free search, a fresh unbounded in-memory shard cache, local
+// re-mining and immediate (uncoalesced) re-mine triggering.
+type Options struct {
+	// Mining are the search options every re-mine runs with. ShardEdgeCut
+	// is rejected: serving re-mines are component-grained (the cache and
+	// the distributed fan-out have no stable per-group unit under edge
+	// cuts), exactly like MineShardedCached.
+	Mining icspm.Options
+	// Cache is the shard-result cache consulted by every re-mine, so an
+	// edit that dirties one component group re-mines only that group. Nil
+	// uses a fresh unbounded in-memory cache owned by the server.
+	Cache *shardcache.Cache
+	// PersistDir, when non-empty, is where Close flushes the cache's
+	// resident entries (one blob per key, the shard-cache disk format), so
+	// a restarted server warm-starts from a disk-backed cache opened on
+	// the same directory.
+	PersistDir string
+	// Transport, when non-nil, fans dirty component groups out to remote
+	// workers through MineDistributed instead of mining them in-process.
+	// The server does not close the transport; the caller owns it.
+	Transport shardrpc.Transport
+	// RemoteRetries, RemoteTimeout and RemoteNoFallback mirror
+	// DistributedOptions when Transport is set.
+	RemoteRetries    int
+	RemoteTimeout    time.Duration
+	RemoteNoFallback bool
+	// Debounce is how long the re-mine loop waits after a trigger before
+	// collecting the pending batch, so bursts of mutations coalesce into
+	// one re-mine. 0 re-mines as soon as the loop is free.
+	Debounce time.Duration
+	// RetryBackoff is how long the loop waits after a failed re-mine
+	// before retrying the re-queued batch, so acknowledged mutations are
+	// never stranded waiting for the next external trigger but a
+	// persistently dead fleet is not hammered. 0 uses a 1s default.
+	RetryBackoff time.Duration
+}
+
+// defaultRetryBackoff paces automatic retries of a failed re-mine.
+const defaultRetryBackoff = time.Second
+
+// Validate sanity-checks the options.
+func (o Options) Validate() error {
+	if err := o.Mining.Validate(); err != nil {
+		return err
+	}
+	if o.Mining.ShardStrategy == icspm.ShardEdgeCut {
+		return fmt.Errorf("serve: ShardEdgeCut cannot be served (re-mining is component-grained)")
+	}
+	if o.RemoteRetries < 0 {
+		return fmt.Errorf("serve: RemoteRetries must be >= 0, got %d", o.RemoteRetries)
+	}
+	if o.RemoteTimeout < 0 {
+		return fmt.Errorf("serve: RemoteTimeout must be >= 0, got %v", o.RemoteTimeout)
+	}
+	if o.Debounce < 0 {
+		return fmt.Errorf("serve: Debounce must be >= 0, got %v", o.Debounce)
+	}
+	if o.RetryBackoff < 0 {
+		return fmt.Errorf("serve: RetryBackoff must be >= 0, got %v", o.RetryBackoff)
+	}
+	return nil
+}
+
+// Snapshot is one immutable serving state: a graph generation, the model
+// mined from it, and the completion scorer built over both. Handlers load
+// exactly one snapshot per request, so every response is internally
+// consistent — the generation it reports is the generation its patterns
+// and scores came from.
+type Snapshot struct {
+	// Generation counts published snapshots: 1 is the initial mine, and
+	// each successful re-mine increments it.
+	Generation uint64
+	// Graph is the graph this snapshot's model was mined from.
+	Graph *graph.Graph
+	// Model is the mined model, bit-identical to Mine(Graph).
+	Model *icspm.Model
+	// Scorer ranks candidate attribute values with Model (Algorithm 5).
+	Scorer *completion.Scorer
+	// MultiLeaf is Model.MultiLeaf() computed once at publish, so the
+	// multileaf pattern page and its count cost the read path nothing.
+	MultiLeaf []icspm.AStar
+	// PublishedAt is when the snapshot was swapped in.
+	PublishedAt time.Time
+}
+
+// newSnapshot assembles one immutable serving state.
+func newSnapshot(gen uint64, g *graph.Graph, model *icspm.Model) *Snapshot {
+	return &Snapshot{
+		Generation: gen, Graph: g, Model: model,
+		Scorer:      completion.NewScorer(model, g),
+		MultiLeaf:   model.MultiLeaf(),
+		PublishedAt: time.Now(),
+	}
+}
+
+// Server is the long-running pattern-serving host. All exported methods and
+// the HTTP handlers are safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *shardcache.Cache
+	mux   *http.ServeMux
+	snap  atomic.Pointer[Snapshot]
+	met   metrics
+
+	mu       sync.Mutex
+	closed   bool          // set by Close; rejects further mutation submits
+	pending  []Mutation    // mutations not yet collected into a re-mine batch
+	mutSeq   uint64        // total mutations accepted
+	minedSeq uint64        // mutations covered by the published snapshot
+	failSeq  uint64        // mutations covered by the latest failed attempt
+	attempts uint64        // completed re-mine attempts (success or failure)
+	lastErr  error         // latest re-mine failure, nil after a success
+	notify   chan struct{} // closed and replaced on every publish or failure
+
+	wake      chan struct{}
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewServer validates opts, mines g synchronously for the generation-1
+// snapshot, and starts the background re-mine loop. Callers must Close the
+// server to stop the loop (and flush the cache when PersistDir is set).
+func NewServer(g *graph.Graph, opts Options) (*Server, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		cache:  opts.Cache,
+		notify: make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if s.cache == nil {
+		s.cache = shardcache.New(0)
+	}
+	model, err := s.mine(g)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial mine: %w", err)
+	}
+	s.snap.Store(newSnapshot(1, g, model))
+	s.mux = s.routes()
+	go s.loop()
+	return s, nil
+}
+
+// Snapshot returns the currently served snapshot. The returned value and
+// everything it references are immutable.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Cache exposes the server's shard-result cache (for stats and warm-start
+// inspection).
+func (s *Server) Cache() *shardcache.Cache { return s.cache }
+
+// ServeHTTP serves the /v1 API; a Server plugs directly into http.Server.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SubmitMutations validates muts against the current snapshot's graph and
+// appends them to the mutation log, triggering a background re-mine. The
+// batch is all-or-nothing: the first invalid mutation rejects the whole
+// slice and nothing is enqueued. Vertex-range validation is stable across
+// pending batches because mutations never change the vertex count.
+func (s *Server) SubmitMutations(muts []Mutation) error {
+	if len(muts) == 0 {
+		return fmt.Errorf("serve: empty mutation batch")
+	}
+	n := s.snap.Load().Graph.NumVertices()
+	for i, m := range muts {
+		if err := m.validate(n); err != nil {
+			s.met.mutationsRejected.Add(uint64(len(muts)))
+			return fmt.Errorf("serve: mutation %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.mutationsRejected.Add(uint64(len(muts)))
+		return fmt.Errorf("serve: server closed, mutations not accepted")
+	}
+	s.pending = append(s.pending, muts...)
+	s.mutSeq += uint64(len(muts))
+	s.mu.Unlock()
+	s.met.mutationsAccepted.Add(uint64(len(muts)))
+	s.trigger()
+	return nil
+}
+
+// PendingMutations reports how many accepted mutations the published
+// snapshot does not cover yet (log backlog plus any in-flight batch).
+func (s *Server) PendingMutations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.mutSeq - s.minedSeq)
+}
+
+// Flush triggers a re-mine of everything submitted before the call and
+// blocks until a snapshot covering it is published (nil), the attempt
+// covering it fails (the re-mine error; the batch stays queued for the
+// next trigger), or ctx expires.
+func (s *Server) Flush(ctx context.Context) error {
+	s.mu.Lock()
+	target, before := s.mutSeq, s.attempts
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		mined, failed, att, lastErr := s.minedSeq, s.failSeq, s.attempts, s.lastErr
+		ch, backlog := s.notify, len(s.pending)
+		s.mu.Unlock()
+		if mined >= target {
+			return nil
+		}
+		if att > before && failed >= target && lastErr != nil {
+			return lastErr
+		}
+		if backlog > 0 {
+			s.trigger()
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: flush of %d mutations interrupted: %w", target, ctx.Err())
+		case <-s.done:
+			// One final check: a last publish may have landed between the
+			// progress check above and the loop shutting down.
+			s.mu.Lock()
+			mined = s.minedSeq
+			s.mu.Unlock()
+			if mined >= target {
+				return nil
+			}
+			return fmt.Errorf("serve: server closed before %d mutations were mined", target)
+		case <-ch:
+		}
+	}
+}
+
+// AwaitGeneration blocks until the served snapshot's generation reaches gen
+// or ctx expires.
+func (s *Server) AwaitGeneration(ctx context.Context, gen uint64) error {
+	for {
+		s.mu.Lock()
+		ch := s.notify
+		s.mu.Unlock()
+		if s.snap.Load().Generation >= gen {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: awaiting generation %d (at %d): %w", gen, s.snap.Load().Generation, ctx.Err())
+		case <-s.done:
+			if s.snap.Load().Generation >= gen {
+				return nil
+			}
+			return fmt.Errorf("serve: server closed at generation %d awaiting %d", s.snap.Load().Generation, gen)
+		case <-ch:
+		}
+	}
+}
+
+// Close stops the re-mine loop (letting an in-flight re-mine finish),
+// runs one final re-mine over any still-pending acknowledged mutations so
+// a graceful shutdown never silently discards a 202-acked batch, and, when
+// PersistDir is set, flushes the cache's resident entries to disk so the
+// next server warm-starts. Close is idempotent and does not drain HTTP
+// requests — the owning http.Server's Shutdown does that first, which is
+// exactly what lets mutations accepted mid-drain reach the final re-mine.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.quit)
+		<-s.done
+		if s.PendingMutations() > 0 && !s.remine() {
+			s.mu.Lock()
+			s.closeErr = fmt.Errorf("serve: %d acknowledged mutations not mined at shutdown: %w",
+				len(s.pending), s.lastErr)
+			s.mu.Unlock()
+		}
+		if s.opts.PersistDir != "" {
+			if err := s.cache.Persist(s.opts.PersistDir); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// trigger nudges the re-mine loop without blocking (the buffered token
+// collapses concurrent triggers into one pass).
+func (s *Server) trigger() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the background re-mine scheduler: wait for a trigger, let the
+// debounce window coalesce follow-up mutations, then run one re-mine.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.wake:
+		}
+		if d := s.opts.Debounce; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-s.quit:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if !s.remine() {
+			// The batch was re-queued; retry after a backoff instead of
+			// waiting for the next external trigger, so acknowledged
+			// mutations are never stranded behind a transient failure.
+			backoff := s.opts.RetryBackoff
+			if backoff == 0 {
+				backoff = defaultRetryBackoff
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-s.quit:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			s.trigger()
+		}
+	}
+}
+
+// remine collects the pending batch, rebuilds the graph, mines it, and
+// publishes the next snapshot, reporting whether the pass succeeded (an
+// empty batch is a successful no-op). On failure the batch is re-queued at
+// the front of the log (order preserved) and the last good snapshot keeps
+// serving; the loop retries after a backoff.
+func (s *Server) remine() bool {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	covered := s.mutSeq
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return true
+	}
+	cur := s.snap.Load()
+	start := time.Now()
+	next := Rebuild(cur.Graph, batch)
+	model, err := s.mine(next)
+	if err != nil {
+		s.met.remineFailures.Add(1)
+		s.mu.Lock()
+		s.pending = append(batch, s.pending...)
+		s.failSeq = covered
+		s.attempts++
+		s.lastErr = err
+		s.broadcastLocked()
+		s.mu.Unlock()
+		return false
+	}
+	elapsed := time.Since(start)
+	s.snap.Store(newSnapshot(cur.Generation+1, next, model))
+	s.met.remines.Add(1)
+	s.met.remineNanosTotal.Add(elapsed.Nanoseconds())
+	s.met.remineNanosLast.Store(elapsed.Nanoseconds())
+	s.mu.Lock()
+	s.minedSeq = covered
+	s.attempts++
+	s.lastErr = nil
+	s.broadcastLocked()
+	s.mu.Unlock()
+	return true
+}
+
+// broadcastLocked wakes every Flush/AwaitGeneration waiter. Caller holds
+// s.mu.
+func (s *Server) broadcastLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// mine runs one search over g through the configured path, converting
+// panics into errors so a poisoned re-mine degrades to staleness instead of
+// killing the serving process.
+func (s *Server) mine(g *graph.Graph) (model *icspm.Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			model, err = nil, fmt.Errorf("serve: re-mine panicked: %v", r)
+		}
+	}()
+	if s.opts.Transport != nil {
+		return icspm.MineDistributed(g, icspm.DistributedOptions{
+			Options:    s.opts.Mining,
+			Transport:  s.opts.Transport,
+			Retries:    s.opts.RemoteRetries,
+			Timeout:    s.opts.RemoteTimeout,
+			NoFallback: s.opts.RemoteNoFallback,
+			Cache:      s.cache,
+		})
+	}
+	return icspm.MineShardedCached(g, s.opts.Mining, s.cache), nil
+}

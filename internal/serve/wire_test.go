@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Canonical fixture values: every field non-zero (encoding/json emits all
+// exported fields, but a zero value would leave that field's FORMAT — float
+// rendering, array-vs-null — unpinned) and floats that exercise shortest
+// round-trip rendering.
+
+func goldenModelResponse() ModelResponse {
+	return ModelResponse{
+		Generation:       7,
+		Vertices:         1200,
+		Edges:            5400,
+		AttrValues:       37,
+		BaselineDL:       10240.5,
+		FinalDL:          8191.25,
+		CompressionRatio: 0.7999267578125,
+		CondEntropy:      0.4375,
+		Patterns:         96,
+		MultiLeaf:        23,
+		Iterations:       73,
+		GainEvals:        15321,
+		CacheHits:        11,
+		CacheMisses:      1,
+		CacheEvictions:   2,
+		RemoteJobs:       12,
+		RemoteRetries:    3,
+		LocalFallbacks:   1,
+	}
+}
+
+func goldenPatternsResponse() PatternsResponse {
+	return PatternsResponse{
+		Generation: 7,
+		Total:      96,
+		Offset:     10,
+		Limit:      2,
+		Patterns: []PatternJSON{
+			{Core: []string{"ICDM"}, Leaf: []string{"EDBT", "PODS"}, FL: 41, FC: 52,
+				Confidence: 0.7884615384615384, CodeLen: 9.53125},
+			{Core: []string{"smoker"}, Leaf: []string{"cancer"}, FL: 7, FC: 21,
+				Confidence: 0.3333333333333333, CodeLen: 12.125},
+		},
+	}
+}
+
+// TestResponseWireFormatGolden pins the JSON bytes of the /v1/model and
+// /v1/patterns responses: the committed fixtures must decode into exactly
+// the canonical values, and re-encoding those values through the same
+// encoder the handlers use must reproduce the committed bytes byte for
+// byte. A renamed/reordered/retyped field breaks every deployed client, so
+// it must arrive as a NEW endpoint version with new fixtures — never by
+// mutating these. Regenerate deliberately with
+// UPDATE_WIRE_GOLDEN=1 go test ./internal/serve -run WireFormat.
+func TestResponseWireFormatGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		val  any
+		dest func() any
+	}{
+		{"model", "testdata/model_v1.json", goldenModelResponse(),
+			func() any { return &ModelResponse{} }},
+		{"patterns", "testdata/patterns_v1.json", goldenPatternsResponse(),
+			func() any { return &PatternsResponse{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The handlers stream through json.NewEncoder, which appends a
+			// trailing newline; the fixture pins those exact bytes.
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(tc.val); err != nil {
+				t.Fatal(err)
+			}
+			if os.Getenv("UPDATE_WIRE_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(tc.path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(tc.path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %d bytes to %s", buf.Len(), tc.path)
+			}
+			committed, err := os.ReadFile(tc.path)
+			if err != nil {
+				t.Fatalf("read fixture: %v (regenerate with UPDATE_WIRE_GOLDEN=1)", err)
+			}
+			if !bytes.Equal(committed, buf.Bytes()) {
+				t.Errorf("encoding %s diverged from the committed wire format:\n got: %s\nwant: %s",
+					tc.name, buf.Bytes(), committed)
+			}
+			dest := tc.dest()
+			if err := json.Unmarshal(committed, dest); err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			got := reflect.ValueOf(dest).Elem().Interface()
+			if !reflect.DeepEqual(got, tc.val) {
+				t.Errorf("fixture decoded to\n%+v\nwant\n%+v", got, tc.val)
+			}
+		})
+	}
+}

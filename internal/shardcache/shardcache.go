@@ -195,6 +195,39 @@ func (c *Cache) Put(k Key, e *Entry) error {
 	return nil
 }
 
+// Persist writes every entry currently resident in memory as a blob under
+// dir (creating it if needed), using the same atomic one-gob-blob-per-key
+// format as the disk layer — so a memory-only cache can be flushed at
+// shutdown and re-opened later with Open for a warm start. Entries already
+// on disk are rewritten with identical bytes, which makes Persist an
+// idempotent no-op-equivalent for a dir-backed cache flushing to its own
+// directory. It returns the first write error after attempting every entry.
+func (c *Cache) Persist(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("shardcache: empty persist directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shardcache: %w", err)
+	}
+	// Snapshot the resident set under the mutex, write outside it: entries
+	// are shared read-only once admitted, so encoding unlocked is safe and
+	// concurrent lookups never stall behind the flush.
+	c.mu.Lock()
+	snapshot := make(map[Key]*Entry, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		le := el.Value.(*lruEntry)
+		snapshot[le.key] = le.entry
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for k, e := range snapshot {
+		if err := storeBlob(dir, k, e); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Remove invalidates k in both layers, reporting whether anything existed.
 func (c *Cache) Remove(k Key) bool {
 	c.mu.Lock()
@@ -241,12 +274,18 @@ func (c *Cache) loadDisk(k Key) (*Entry, bool) {
 	return e, true
 }
 
-// storeDisk writes the blob of k atomically (temp file + rename), so a
-// crash mid-write leaves either the old blob or none, and concurrent writers
-// of one key leave one winner. Runs unlocked (c.dir is immutable).
+// storeDisk writes the blob of k into the cache's own directory. Runs
+// unlocked (c.dir is immutable).
 func (c *Cache) storeDisk(k Key, e *Entry) error {
-	path := filepath.Join(c.dir, k.filename())
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	return storeBlob(c.dir, k, e)
+}
+
+// storeBlob writes the blob of k under dir atomically (temp file + rename),
+// so a crash mid-write leaves either the old blob or none, and concurrent
+// writers of one key leave one winner.
+func storeBlob(dir string, k Key, e *Entry) error {
+	path := filepath.Join(dir, k.filename())
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("shardcache: %w", err)
 	}

@@ -182,3 +182,56 @@ func TestUnboundedCapacity(t *testing.T) {
 		t.Fatalf("unbounded cache evicted: %+v", st)
 	}
 }
+
+func TestPersistFlushesMemoryToDisk(t *testing.T) {
+	mem := New(0)
+	for i := byte(1); i <= 3; i++ {
+		if err := mem.Put(key(i), entry(int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mem.Persist(""); err == nil {
+		t.Fatal("Persist accepted an empty directory")
+	}
+	dir := filepath.Join(t.TempDir(), "nested", "cache") // Persist must mkdir
+	if err := mem.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 3 {
+		t.Fatalf("persisted %d blobs, want 3", len(blobs))
+	}
+	// A dir-backed cache over the flushed directory serves every entry.
+	warm, err := Open(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(1); i <= 3; i++ {
+		got, ok := warm.Get(key(i))
+		if !ok {
+			t.Fatalf("entry %d missing after persist", i)
+		}
+		if got.Iterations != int(i) || len(got.Final) != int(i) {
+			t.Fatalf("entry %d round-tripped wrong: %+v", i, got)
+		}
+	}
+	// Persisting a dir-backed cache to its own directory is an idempotent
+	// rewrite of identical bytes.
+	before, err := os.ReadFile(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("self-persist rewrote a blob with different bytes")
+	}
+}

@@ -1,0 +1,200 @@
+// End-to-end pin for the online serving subsystem through the public API:
+// a running server answers /v1/complete during an active background
+// re-mine with zero failed requests, and after the re-mine completes the
+// served model is bit-identical to Mine on the mutated graph.
+package cspm_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cspm"
+)
+
+// serveTestGraph builds the initial two-island graph; mutated mirrors the
+// post-mutation graph, built independently so the equivalence check does
+// not share the server's rebuild code path.
+func serveTestGraph(t *testing.T, mutated bool) *cspm.Graph {
+	t.Helper()
+	b := cspm.NewBuilder(8)
+	type attr struct {
+		v   cspm.VertexID
+		val string
+	}
+	attrs := []attr{
+		{0, "smoker"}, {1, "smoker"}, {1, "cancer"}, {2, "cancer"}, {3, "smoker"},
+		{4, "icde"}, {5, "icde"}, {5, "sigmod"}, {6, "sigmod"}, {7, "icde"},
+	}
+	edges := [][2]cspm.VertexID{{0, 1}, {1, 2}, {2, 3}, {0, 2}, {4, 5}, {5, 6}, {6, 7}, {4, 6}}
+	if mutated {
+		// Mirrors the mutation batch posted in the test: add edge {0,3},
+		// attach cancer to 3, drop edge {4,6}.
+		attrs = append(attrs, attr{3, "cancer"})
+		edges = append(edges[:7:7], [2]cspm.VertexID{0, 3})
+	}
+	for _, a := range attrs {
+		if err := b.AddAttr(a.v, a.val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
+	g := serveTestGraph(t, false)
+	srv, err := cspm.NewServer(g, cspm.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// Hammer /v1/complete for the whole mutate-and-re-mine window: zero
+	// failed requests is part of the acceptance contract.
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		served   atomic.Int64
+		failures atomic.Int64
+	)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(hs.URL+"/v1/complete", "application/json",
+					strings.NewReader(`{"vertices":[2,6],"top_k":3}`))
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				var body struct {
+					Generation uint64 `json:"generation"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil || body.Generation == 0 {
+					failures.Add(1)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	muts := []cspm.GraphMutation{
+		{Op: "add_edge", U: 0, V: 3},
+		{Op: "add_attr", U: 3, Value: "cancer"},
+		{Op: "del_edge", U: 4, V: 6},
+	}
+	if err := srv.SubmitMutations(muts); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.AwaitGeneration(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d /v1/complete requests failed during the re-mine", failures.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no queries served during the re-mine window")
+	}
+
+	// The served model must now be bit-identical to Mine on the mutated
+	// graph — first through the public snapshot, then over the wire.
+	want := cspm.Mine(serveTestGraph(t, true))
+	snap := srv.Snapshot()
+	if snap.Model.BaselineDL != want.BaselineDL || snap.Model.FinalDL != want.FinalDL {
+		t.Fatalf("served DLs (%v, %v) diverge from Mine(g') (%v, %v)",
+			snap.Model.BaselineDL, snap.Model.FinalDL, want.BaselineDL, want.FinalDL)
+	}
+	if !reflect.DeepEqual(snap.Model.Patterns, want.Patterns) {
+		t.Fatal("served patterns diverge from Mine(g')")
+	}
+
+	var model struct {
+		Generation uint64  `json:"generation"`
+		FinalDL    float64 `json:"final_dl"`
+		BaselineDL float64 `json:"baseline_dl"`
+		Patterns   int     `json:"patterns"`
+	}
+	resp, err := http.Get(hs.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&model); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if model.Generation != 2 || model.FinalDL != want.FinalDL ||
+		model.BaselineDL != want.BaselineDL || model.Patterns != len(want.Patterns) {
+		t.Fatalf("/v1/model reports %+v, want the Mine(g') stats", model)
+	}
+
+	// The ranked wire patterns must spell exactly Mine(g')'s list.
+	var page struct {
+		Total    int `json:"total"`
+		Patterns []struct {
+			Core    []string `json:"core"`
+			Leaf    []string `json:"leaf"`
+			FL      int      `json:"fl"`
+			FC      int      `json:"fc"`
+			CodeLen float64  `json:"code_len"`
+		} `json:"patterns"`
+	}
+	resp, err = http.Get(hs.URL + "/v1/patterns?limit=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if page.Total != len(want.Patterns) {
+		t.Fatalf("/v1/patterns total=%d, want %d", page.Total, len(want.Patterns))
+	}
+	vocab := serveTestGraph(t, true).Vocab()
+	for i, p := range page.Patterns {
+		wantCore := attrNamesSorted(vocab, want.Patterns[i].CoreValues)
+		wantLeaf := attrNamesSorted(vocab, want.Patterns[i].LeafValues)
+		if !reflect.DeepEqual(p.Core, wantCore) || !reflect.DeepEqual(p.Leaf, wantLeaf) ||
+			p.FL != want.Patterns[i].FL || p.FC != want.Patterns[i].FC ||
+			p.CodeLen != want.Patterns[i].CodeLen {
+			t.Fatalf("wire pattern %d = %+v, want (%v, %v, fl=%d, fc=%d, len=%v)",
+				i, p, wantCore, wantLeaf, want.Patterns[i].FL, want.Patterns[i].FC, want.Patterns[i].CodeLen)
+		}
+	}
+}
+
+func attrNamesSorted(v *cspm.Vocab, ids []cspm.AttrID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = v.Name(id)
+	}
+	sort.Strings(out)
+	return out
+}
