@@ -587,6 +587,47 @@ func BenchmarkServe_CompleteDuringRemine(b *testing.B) {
 	b.ReportMetric(float64(after.Remines-before.Remines)/float64(b.N), "remines/op")
 }
 
+// BenchmarkServe_MutationAck measures the acknowledgment path of one
+// mutation batch — exactly what a writer waits on — with and without the
+// durability contract. The durable-wal case pays a WAL append + fsync per
+// batch before the ack (DESIGN.md "Durability & crash recovery"); the gap
+// between the two sub-benchmarks IS the cost of crash-safe acknowledgments.
+// The re-mine loop is debounced out of the way so only the ack is measured.
+func BenchmarkServe_MutationAck(b *testing.B) {
+	for _, durable := range []bool{false, true} {
+		name := "volatile"
+		if durable {
+			name = "durable-wal"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dataset.DefaultIslands()
+			cfg.Seed = 7
+			g := dataset.Islands(cfg)
+			opts := cspm.ServerOptions{Debounce: time.Hour}
+			if durable {
+				opts.WALDir = b.TempDir()
+			}
+			srv, err := cspm.NewServer(g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ops := []string{"add_edge", "del_edge"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := srv.SubmitMutations([]cspm.GraphMutation{{Op: ops[i%2], U: 1, V: 3}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if durable {
+				b.ReportMetric(float64(srv.Metrics().WALAppends)/float64(b.N), "fsyncs/op")
+			}
+		})
+	}
+}
+
 // BenchmarkServe_RemineLatency measures the mutate→publish path end to end:
 // one island-local edge toggle per iteration, flushed through the
 // incremental re-mine to a published snapshot. cache-hits/op counts the

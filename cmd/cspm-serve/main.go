@@ -11,19 +11,25 @@
 //
 // Usage:
 //
-//	cspm-serve [-listen :7480] [-shards K] [-cache-dir DIR] [-debounce D]
-//	           [-remote host:port,...] [-remote-timeout D] [-remote-retries N]
-//	           [-remote-no-fallback] graph.txt
+//	cspm-serve [-listen :7480] [-shards K] [-cache-dir DIR] [-wal-dir DIR]
+//	           [-standby] [-debounce D] [-remote host:port,...]
+//	           [-remote-timeout D] [-remote-retries N] [-remote-no-fallback]
+//	           graph.txt
 //
-// With "-" as the file name, the initial graph is read from stdin. On
-// SIGINT/SIGTERM the server drains in-flight requests, persists the shard
-// cache (when -cache-dir is set) and exits.
+// With "-" as the file name, the initial graph is read from stdin; with
+// -standby and a checkpoint under -cache-dir the file may be omitted
+// entirely. -wal-dir turns mutation acknowledgments durable: batches are
+// fsync'd to a write-ahead log before the 202, and a restarted (or standby)
+// server replays unfolded batches over the checkpoint instead of cold
+// re-mining. On SIGINT/SIGTERM the server drains in-flight requests
+// (force-closing them at -drain-timeout), checkpoints (when -cache-dir is
+// set) and exits; a second SIGINT exits immediately.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,22 +48,30 @@ func main() {
 	flag.DurationVar(&cfg.RemoteTimeout, "remote-timeout", 0, "per-attempt wait for a remote shard result (0 = default)")
 	flag.IntVar(&cfg.RemoteRetries, "remote-retries", 0, "re-submissions per shard job before local fallback")
 	flag.BoolVar(&cfg.RemoteNoFallback, "remote-no-fallback", false, "fail a re-mine instead of mining failed shard jobs locally")
-	drain := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	flag.StringVar(&cfg.WALDir, "wal-dir", "", "write-ahead-log directory: fsync mutation batches before acknowledging, replay them on restart")
+	flag.BoolVar(&cfg.Standby, "standby", false, "refuse to cold-start: promote from the -cache-dir checkpoint / -wal-dir log or fail")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown before force-closing them")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cspm-serve [flags] graph.txt (or - for stdin)")
+	var in io.Reader
+	switch {
+	case flag.NArg() == 1:
+		if path := flag.Arg(0); path == "-" {
+			in = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cspm-serve:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+	case flag.NArg() == 0 && cfg.Standby:
+		// Promote purely from durable state: the checkpoint is the graph.
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cspm-serve [flags] graph.txt (or - for stdin; omit with -standby)")
 		flag.PrintDefaults()
 		os.Exit(2)
-	}
-	var in *os.File = os.Stdin
-	if path := flag.Arg(0); path != "-" {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cspm-serve:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
 	}
 	addr, shutdown, err := cli.StartServe(in, cfg)
 	if err != nil {
@@ -67,11 +81,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cspm-serve: serving /v1 on %s\n", addr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(os.Stderr, "cspm-serve: draining...")
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	if err := shutdown(ctx); err != nil {
+	if err := cli.AwaitShutdown(sig, *drain, shutdown, os.Exit, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cspm-serve:", err)
 		os.Exit(1)
 	}

@@ -209,7 +209,10 @@ type (
 	// (patterns, completion, model stats, health, metrics, mutations).
 	Server = serve.Server
 	// ServerOptions configures a Server: search options, shard cache,
-	// optional worker transport, and the re-mine coalescing window.
+	// optional worker transport, the re-mine coalescing window, and the
+	// durability contract (WALDir for fsync'd-before-ack mutation batches,
+	// PersistDir for verified checkpoints, Standby for warm-spare
+	// promotion).
 	ServerOptions = serve.Options
 	// ServerSnapshot is one immutable serving state: generation, graph,
 	// model, and the completion scorer built over both.
@@ -219,13 +222,22 @@ type (
 	GraphMutation = serve.Mutation
 	// ServerMetrics is the server's counters snapshot (/v1/metrics).
 	ServerMetrics = serve.MetricsSnapshot
+	// ServerRecoveryStats reports what NewServer recovered from durable
+	// state: checkpoint generation, replayed WAL batches, quarantined
+	// blobs, and whether any commitment failed verification.
+	ServerRecoveryStats = serve.RecoveryStats
 )
 
-// NewServer validates opts, mines g synchronously for the generation-1
-// snapshot, and starts the background re-mine loop. The returned Server is
-// an http.Handler serving the /v1 API; Close it to stop the loop (and flush
-// the cache when ServerOptions.PersistDir is set). After each successful
-// re-mine the served model is bit-identical to Mine on the mutated graph.
+// NewServer validates opts, recovers any durable state (a verified
+// checkpoint in PersistDir, unfolded WAL batches in WALDir), mines the
+// recovered graph synchronously for the first snapshot, and starts the
+// background re-mine loop. The returned Server is an http.Handler serving
+// the /v1 API; Close it to stop the loop (and checkpoint when
+// ServerOptions.PersistDir is set). With WALDir set, a nil error from
+// SubmitMutations means the batch is durable — a crash never loses it.
+// After each successful re-mine the served model is bit-identical to Mine
+// on the mutated graph. g may be nil only when Standby is set and a
+// committed checkpoint supplies the graph.
 func NewServer(g *Graph, opts ServerOptions) (*Server, error) {
 	return serve.NewServer(g, opts)
 }

@@ -342,15 +342,25 @@ type ServeConfig struct {
 	RemoteTimeout    time.Duration
 	RemoteRetries    int
 	RemoteNoFallback bool
+	// WALDir enables the durability contract: mutation batches are fsync'd
+	// into a write-ahead log under this directory before acknowledgment and
+	// replayed on restart. "" serves without durable acknowledgment.
+	WALDir string
+	// Standby refuses to cold-start: the server must find durable state (a
+	// checkpoint under CacheDir or batches under WALDir) to promote. With a
+	// checkpoint present the initial graph may be omitted entirely.
+	Standby bool
 }
 
-// StartServe validates cfg, reads the initial graph from r, mines it, binds
-// the listener and serves the /v1 API in a background goroutine. It returns
-// the bound address and a shutdown function that drains in-flight requests
-// (bounded by ctx), stops the re-mine loop, flushes the shard cache to
-// CacheDir when set, and closes any worker transport. All flag validation
-// happens before the (possibly huge) graph read, mirroring Mine's
-// validate-before-load contract.
+// StartServe validates cfg, reads the initial graph from r (nil skips the
+// read: a -standby server promotes from its checkpoint instead), mines or
+// recovers it, binds the listener and serves the /v1 API in a background
+// goroutine. It returns the bound address and a shutdown function that
+// drains in-flight requests (bounded by ctx, force-closing leftovers when
+// it expires), stops the re-mine loop, checkpoints to CacheDir when set,
+// and closes any worker transport. All flag validation happens before the
+// (possibly huge) graph read, mirroring Mine's validate-before-load
+// contract.
 func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(context.Context) error, err error) {
 	if cfg.Listen == "" {
 		return "", nil, fmt.Errorf("-listen must name a host:port to serve on")
@@ -375,6 +385,8 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		Debounce:      cfg.Debounce,
 		RemoteTimeout: cfg.RemoteTimeout, RemoteRetries: cfg.RemoteRetries,
 		RemoteNoFallback: cfg.RemoteNoFallback,
+		WALDir:           cfg.WALDir,
+		Standby:          cfg.Standby,
 	}
 	if err := opts.Validate(); err != nil {
 		return "", nil, err
@@ -410,11 +422,13 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		closeTransport()
 		return "", nil, err
 	}
-	g, err := graph.Load(r)
-	if err != nil {
-		l.Close()
-		closeTransport()
-		return "", nil, err
+	var g *graph.Graph
+	if r != nil {
+		if g, err = graph.Load(r); err != nil {
+			l.Close()
+			closeTransport()
+			return "", nil, err
+		}
 	}
 	sv, err := serve.NewServer(g, opts)
 	if err != nil {
@@ -426,8 +440,15 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 	go hs.Serve(l)
 	shutdown = func(ctx context.Context) error {
 		// Drain first (Shutdown waits for in-flight responses to complete),
-		// then stop mining and flush the cache, then drop the workers.
+		// then stop mining and flush the cache, then drop the workers. The
+		// drain deadline is hard: when ctx expires before the drain ends,
+		// remaining connections are force-closed so shutdown always
+		// completes — a stuck client must not be able to hold the
+		// checkpoint (and the process) hostage.
 		drainErr := hs.Shutdown(ctx)
+		if drainErr != nil {
+			hs.Close()
+		}
 		closeErr := sv.Close()
 		closeTransport()
 		if drainErr != nil {
@@ -436,6 +457,24 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		return closeErr
 	}
 	return l.Addr().String(), shutdown, nil
+}
+
+// AwaitShutdown is cspm-serve's signal protocol, factored out so it can be
+// tested without spawning a process: block until the first signal, then
+// drain gracefully within the drain timeout — and exit immediately (status
+// 130, the conventional SIGINT code) on a second signal, so an operator's
+// double Ctrl-C always works even when the drain or checkpoint hangs.
+func AwaitShutdown(sig <-chan os.Signal, drain time.Duration, shutdown func(context.Context) error, exit func(int), logw io.Writer) error {
+	<-sig
+	fmt.Fprintln(logw, "cspm-serve: draining...")
+	go func() {
+		<-sig
+		fmt.Fprintln(logw, "cspm-serve: second signal, exiting immediately")
+		exit(130)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return shutdown(ctx)
 }
 
 // WriteGraph emits g with a stats header in the Load format.

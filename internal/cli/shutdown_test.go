@@ -1,0 +1,128 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeForcedDrainDeadline pins the hard shutdown bound: a client that
+// never finishes its request cannot hold the drain open past the deadline —
+// the connection is force-closed and shutdown still completes.
+func TestServeForcedDrainDeadline(t *testing.T) {
+	addr, shutdown, err := StartServe(strings.NewReader(twoIslandText), ServeConfig{
+		Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stuck client: headers promise a body that never arrives, so the
+	// handler blocks reading it and the connection stays active forever.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/complete HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n", addr)
+	// Wait until the handler actually has the request before draining.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var met struct {
+			Complete uint64 `json:"requests_complete"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&met)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.Complete > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stuck request never reached the handler")
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- shutdown(ctx) }()
+	select {
+	case err := <-done:
+		// The graceful drain must report that it gave up; the force-close
+		// path then completed the rest of the shutdown regardless.
+		if err == nil {
+			t.Fatal("shutdown with a stuck connection reported a clean drain")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("shutdown hung: the drain deadline was not enforced")
+	}
+	// The stuck connection was force-closed out from under the client.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stuck connection still open after forced shutdown")
+	}
+}
+
+// TestAwaitShutdownGraceful: one signal triggers the drain with the
+// configured deadline and the drain's result is returned as-is.
+func TestAwaitShutdownGraceful(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt
+	var buf bytes.Buffer
+	called := false
+	err := AwaitShutdown(sig, time.Minute, func(ctx context.Context) error {
+		called = true
+		if dl, ok := ctx.Deadline(); !ok || time.Until(dl) > time.Minute {
+			t.Errorf("drain context deadline = %v, %v; want within the drain timeout", dl, ok)
+		}
+		return nil
+	}, func(code int) { t.Errorf("exit(%d) called on a graceful drain", code) }, &buf)
+	if err != nil || !called {
+		t.Fatalf("AwaitShutdown = %v (drain called=%v)", err, called)
+	}
+	if !strings.Contains(buf.String(), "draining") {
+		t.Fatalf("no drain notice logged: %q", buf.String())
+	}
+}
+
+// TestAwaitShutdownSecondSignalExits: a second signal must bypass a hung
+// drain and exit immediately with the conventional SIGINT status.
+func TestAwaitShutdownSecondSignalExits(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- AwaitShutdown(sig, time.Minute, func(context.Context) error {
+			<-release // the drain hangs until the test releases it
+			return nil
+		}, func(code int) { exited <- code }, io.Discard)
+	}()
+	sig <- os.Interrupt
+	sig <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("second signal exited with %d, want 130", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("second signal did not trigger an immediate exit")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	icspm "cspm/internal/cspm"
+	"cspm/internal/graph"
+	"cspm/internal/shardcache"
+	"cspm/internal/wal"
+)
+
+// ErrUnavailable reports that a mutation batch could not be made durable:
+// the WAL append failed, so the batch was NOT accepted and the client must
+// retry against a recovered server. Handlers map it to 503, not 400 — the
+// request was fine, the durability layer is not.
+var ErrUnavailable = errors.New("serve: durability unavailable")
+
+// checkpointGraphName is the folded-graph file a checkpoint writes next to
+// the cache blobs and MANIFEST in PersistDir.
+const checkpointGraphName = "GRAPH"
+
+// RecoveryStats describes what NewServer found and did while recovering
+// durable state, for operators deciding whether a standby promoted warm.
+type RecoveryStats struct {
+	// Checkpoint reports that a committed MANIFEST was found in PersistDir.
+	Checkpoint bool
+	// CheckpointGeneration is the generation the manifest committed to.
+	CheckpointGeneration uint64
+	// CheckpointDamaged reports that the checkpoint failed verification
+	// (unreadable or checksum-mismatched graph) and was distrusted wholesale.
+	CheckpointDamaged bool
+	// ModelMismatch reports that the model mined over the recovered cache did
+	// not match the manifest's commitment: every blob was quarantined and the
+	// model re-mined cold.
+	ModelMismatch bool
+	// ReplayedBatches / ReplayedMutations count WAL records folded in on top
+	// of the checkpoint (or the base graph) during recovery.
+	ReplayedBatches   int
+	ReplayedMutations int
+	// QuarantinedBlobs counts cache blobs renamed aside because their bytes
+	// no longer matched the manifest.
+	QuarantinedBlobs int
+	// TornWALTail reports that the WAL truncated a partially written record
+	// (a crash mid-append; the record was never acknowledged).
+	TornWALTail bool
+}
+
+// Recovery returns what NewServer recovered. The value is fixed at startup.
+func (s *Server) Recovery() RecoveryStats { return s.rec }
+
+// encodeBatch serialises one acknowledged mutation batch as a WAL payload.
+func encodeBatch(muts []Mutation) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(muts); err != nil {
+		return nil, fmt.Errorf("serve: encode batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBatch is the inverse of encodeBatch.
+func decodeBatch(payload []byte) ([]Mutation, error) {
+	var muts []Mutation
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&muts); err != nil {
+		return nil, fmt.Errorf("serve: decode batch: %w", err)
+	}
+	return muts, nil
+}
+
+// modelChecksum commits to a mined model: summary statistics plus every
+// pattern, with attribute ids spelled by NAME so the digest is invariant
+// under re-interning (the same logical model hashes identically no matter
+// what order a recovered graph assigned its ids in).
+func modelChecksum(m *icspm.Model) string {
+	h := sha256.New()
+	var b [8]byte
+	writeF := func(x float64) { binary.LittleEndian.PutUint64(b[:], math.Float64bits(x)); h.Write(b[:]) }
+	writeU := func(x uint64) { binary.LittleEndian.PutUint64(b[:], x); h.Write(b[:]) }
+	writeAttrs := func(ids []graph.AttrID) {
+		writeU(uint64(len(ids)))
+		for _, a := range ids {
+			io.WriteString(h, m.Vocab.Name(a))
+			h.Write([]byte{0})
+		}
+	}
+	writeF(m.BaselineDL)
+	writeF(m.FinalDL)
+	writeF(m.CondEntropy)
+	writeU(uint64(len(m.Patterns)))
+	for _, p := range m.Patterns {
+		writeAttrs(p.CoreValues)
+		writeAttrs(p.LeafValues)
+		writeU(uint64(p.FL))
+		writeU(uint64(p.FC))
+		writeF(p.CodeLen)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// graphBytes serialises g in the graph text format (deterministic output).
+func graphBytes(g *graph.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func sha256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// reintern rebuilds g so its vocabulary is interned in exactly the given
+// name order (then any value of g missing from order, which a consistent
+// checkpoint never has). Cache keys are content fingerprints over interned
+// ids, so recovering the checkpoint graph in its original interning order is
+// what makes the persisted blobs hit instead of silently going cold.
+func reintern(g *graph.Graph, order []string) *graph.Graph {
+	b := graph.NewBuilder(g.NumVertices())
+	vocab := b.Vocab()
+	for _, name := range order {
+		vocab.ID(name)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Attrs(graph.VertexID(v)) {
+			// Vertices are in range by construction; AddAttr cannot fail.
+			_ = b.AddAttr(graph.VertexID(v), g.Vocab().Name(a))
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < u {
+				_ = b.AddEdge(graph.VertexID(v), u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// loadCheckpointGraph reads and VERIFIES the checkpointed graph: its bytes
+// must hash to the manifest's commitment before they are parsed or trusted,
+// and the parsed graph is re-interned in the manifest's recorded vocabulary
+// order so cache fingerprints line up.
+func loadCheckpointGraph(dir string, man *shardcache.Manifest) (*graph.Graph, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointGraphName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint graph: %w", err)
+	}
+	if got := sha256Hex(data); got != man.GraphSHA256 {
+		return nil, fmt.Errorf("serve: checkpoint graph checksum %s does not match manifest %s",
+			got[:12], man.GraphSHA256[:12])
+	}
+	g, err := graph.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint graph: %w", err)
+	}
+	return reintern(g, man.Vocab), nil
+}
+
+// writeFileAtomicSync writes data as dir/name via fsync'd temp file + rename
+// + directory fsync, so the rename is a durable commit point.
+func writeFileAtomicSync(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(dir, name))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// recoverStartup is NewServer's durability pass, run before the initial
+// mine. It loads and verifies any checkpoint in PersistDir, opens the WAL
+// and replays unfolded batches, and returns the graph the generation-0 state
+// should be mined from plus the generation to publish it as. On return
+// s.wl/s.batchSeq/s.foldedBatches/s.rec are populated.
+//
+// Failure policy: damage that loses NO acknowledged data degrades (distrust
+// the checkpoint, quarantine blobs, fall back to g0 + full replay); damage
+// that would silently drop an acknowledged batch — a WAL gap, a compacted
+// WAL whose covering checkpoint is unusable — is a hard error, because
+// serving would mean lying about writes the server acknowledged.
+func (s *Server) recoverStartup(g0 *graph.Graph) (*graph.Graph, uint64, error) {
+	opts := s.opts
+	base := g0
+	gen := uint64(1)
+	var man *shardcache.Manifest
+	var err error
+	if opts.PersistDir != "" {
+		if man, err = shardcache.LoadManifest(opts.PersistDir); err != nil {
+			return nil, 0, err
+		}
+	}
+	if man != nil {
+		s.rec.Checkpoint = true
+		s.rec.CheckpointGeneration = man.Generation
+		gen = man.Generation
+		ckpt, cerr := loadCheckpointGraph(opts.PersistDir, man)
+		switch {
+		case cerr == nil:
+			if g0 != nil && ckpt.NumVertices() != g0.NumVertices() {
+				return nil, 0, fmt.Errorf("serve: checkpoint has %d vertices, serving graph has %d — wrong persist dir?",
+					ckpt.NumVertices(), g0.NumVertices())
+			}
+			base = ckpt
+			s.ckptModelSum = man.ModelSHA256
+			// Per-blob verification: a blob whose bytes drifted from the
+			// manifest is quarantined so it can never poison a re-mine.
+			q, verr := shardcache.VerifyBlobs(opts.PersistDir, man)
+			s.rec.QuarantinedBlobs += len(q)
+			s.met.quarantinedBlobs.Add(uint64(len(q)))
+			if verr != nil {
+				return nil, 0, verr
+			}
+		default:
+			// The checkpoint as a whole is untrustworthy. Nothing acknowledged
+			// is lost yet — the WAL may still hold every batch — so degrade:
+			// distrust every blob and rebuild from g0 + full replay. Whether
+			// that replay actually covers the folded batches is checked below.
+			s.rec.CheckpointDamaged = true
+			s.met.checksumMismatches.Add(1)
+			n, qerr := shardcache.QuarantineDir(opts.PersistDir)
+			s.rec.QuarantinedBlobs += n
+			s.met.quarantinedBlobs.Add(uint64(n))
+			if qerr != nil {
+				return nil, 0, qerr
+			}
+			s.cache.Purge()
+			man = nil // fall through as if no checkpoint existed
+			if g0 == nil {
+				return nil, 0, fmt.Errorf("serve: checkpoint unusable and no base graph given: %w", cerr)
+			}
+		}
+	}
+	if base == nil {
+		if opts.Standby {
+			return nil, 0, fmt.Errorf("serve: standby found no checkpoint to promote in %q", opts.PersistDir)
+		}
+		return nil, 0, fmt.Errorf("serve: nil graph and no checkpoint to recover")
+	}
+
+	var replayed []Mutation
+	if opts.WALDir != "" {
+		wfs := opts.WALFS
+		l, recs, werr := wal.Open(opts.WALDir, wal.Options{FS: wfs, SegmentBytes: opts.WALSegmentBytes})
+		if werr != nil {
+			return nil, 0, werr
+		}
+		s.wl = l
+		s.rec.TornWALTail = l.TornTail()
+		// Batches the checkpoint already folded replay as no-ops; skip them.
+		var folded uint64
+		if man != nil {
+			folded = man.FoldedBatches
+		}
+		i := 0
+		for i < len(recs) && recs[i].Seq <= folded {
+			i++
+		}
+		recs = recs[i:]
+		if len(recs) > 0 && recs[0].Seq != folded+1 {
+			// Records between the checkpoint and the log's first survivor were
+			// compacted away, but the checkpoint supposed to cover them is not
+			// the one we recovered: acknowledged batches are gone.
+			return nil, 0, fmt.Errorf("serve: WAL resumes at batch %d but recovered state folds only %d — acknowledged batches lost",
+				recs[0].Seq, folded)
+		}
+		if len(recs) == 0 && l.NextSeq()-1 > folded {
+			return nil, 0, fmt.Errorf("serve: WAL was compacted through batch %d but recovered state folds only %d — acknowledged batches lost",
+				l.NextSeq()-1, folded)
+		}
+		n := base.NumVertices()
+		for _, r := range recs {
+			batch, derr := decodeBatch(r.Payload)
+			if derr != nil {
+				return nil, 0, fmt.Errorf("serve: WAL batch %d: %w", r.Seq, derr)
+			}
+			for _, m := range batch {
+				if verr := m.validate(n); verr != nil {
+					return nil, 0, fmt.Errorf("serve: WAL batch %d replays invalid mutation: %w", r.Seq, verr)
+				}
+			}
+			replayed = append(replayed, batch...)
+		}
+		s.rec.ReplayedBatches = len(recs)
+		s.rec.ReplayedMutations = len(replayed)
+		s.met.recoveredBatches.Add(uint64(len(recs)))
+		// Sequence bookkeeping lives in the WAL's own domain: batchSeq is the
+		// last record on disk, foldedBatches what the recovered base covers.
+		s.batchSeq = l.NextSeq() - 1
+		s.foldedBatches = s.batchSeq - uint64(len(recs))
+	}
+	if opts.Standby && man == nil && s.rec.ReplayedBatches == 0 {
+		return nil, 0, fmt.Errorf("serve: standby found no durable state to promote (no checkpoint, empty WAL)")
+	}
+	if len(replayed) > 0 {
+		base = Rebuild(base, replayed)
+		gen++
+	}
+	return base, gen, nil
+}
+
+// verifyRecoveredModel checks the freshly mined recovery model against the
+// manifest's commitment (captured as s.ckptModelSum while recovering; empty
+// when there is nothing to verify against). Only meaningful when the mined
+// graph IS the checkpoint graph (no WAL replay on top): mining is
+// deterministic, so any difference means the recovered cache replayed stale
+// or tampered entries that still fingerprint-matched. The degrade path
+// quarantines every blob, purges memory, and re-mines cold — correctness
+// over warmth.
+func (s *Server) verifyRecoveredModel(base *graph.Graph, model *icspm.Model) (*icspm.Model, error) {
+	if s.ckptModelSum == "" || s.rec.ReplayedBatches > 0 {
+		return model, nil
+	}
+	if modelChecksum(model) == s.ckptModelSum {
+		return model, nil
+	}
+	s.rec.ModelMismatch = true
+	s.met.checksumMismatches.Add(1)
+	n, qerr := shardcache.QuarantineDir(s.opts.PersistDir)
+	s.rec.QuarantinedBlobs += n
+	s.met.quarantinedBlobs.Add(uint64(n))
+	if qerr != nil {
+		return nil, qerr
+	}
+	s.cache.Purge()
+	remodel, merr := s.mine(base)
+	if merr != nil {
+		return nil, fmt.Errorf("serve: re-mine after checksum mismatch: %w", merr)
+	}
+	return remodel, nil
+}
+
+// checkpoint commits the served state to PersistDir — folded graph, cache
+// blobs, then the MANIFEST as the atomic commit point — and only then
+// compacts WAL segments the checkpoint covers. Called from the re-mine loop
+// and Close, never concurrently.
+func (s *Server) checkpoint(snap *Snapshot) error {
+	dir := s.opts.PersistDir
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gb, err := graphBytes(snap.Graph)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomicSync(dir, checkpointGraphName, gb); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	folded, foldedMuts := s.foldedBatches, s.minedSeq
+	s.mu.Unlock()
+	man := &shardcache.Manifest{
+		Generation:      snap.Generation,
+		FoldedBatches:   folded,
+		FoldedMutations: foldedMuts,
+		ModelSHA256:     modelChecksum(snap.Model),
+		GraphSHA256:     sha256Hex(gb),
+		Vocab:           snap.Graph.Vocab().Names(),
+	}
+	if err := s.cache.PersistManifest(dir, man); err != nil {
+		return err
+	}
+	if s.wl != nil {
+		// The manifest above is durable: every batch ≤ folded is recoverable
+		// without the log, so the segments holding them may go.
+		if err := s.wl.Compact(folded); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -375,6 +376,13 @@ func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.SubmitMutations(req.Mutations); err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			// The batch was well-formed but could not be made durable: the
+			// client should retry against a recovered server, so this is a
+			// 503, not a 400.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
 		s.badRequest(w, "%v", err)
 		return
 	}

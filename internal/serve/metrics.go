@@ -24,6 +24,13 @@ type metrics struct {
 	remineFailures   atomic.Uint64
 	remineNanosTotal atomic.Int64
 	remineNanosLast  atomic.Int64
+
+	walAppends         atomic.Uint64
+	walAppendErrors    atomic.Uint64
+	persistErrors      atomic.Uint64 // failed checkpoints (cache entry failures counted separately)
+	recoveredBatches   atomic.Uint64
+	quarantinedBlobs   atomic.Uint64
+	checksumMismatches atomic.Uint64
 }
 
 // MetricsSnapshot is the GET /v1/metrics payload: expvar-style flat
@@ -50,6 +57,15 @@ type MetricsSnapshot struct {
 
 	SnapshotGeneration uint64  `json:"snapshot_generation"`
 	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+
+	// Durability counters (PR 6). PersistErrors sums cache entries that
+	// failed to persist and checkpoints that failed to commit.
+	WALAppends         uint64 `json:"wal_appends"`
+	WALAppendErrors    uint64 `json:"wal_append_errors"`
+	PersistErrors      uint64 `json:"persist_errors"`
+	RecoveredBatches   uint64 `json:"recovered_batches"`
+	QuarantinedBlobs   uint64 `json:"quarantined_blobs"`
+	ChecksumMismatches uint64 `json:"checksum_mismatches"`
 }
 
 // Metrics snapshots the server's counters and the served snapshot's
@@ -77,5 +93,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 
 		SnapshotGeneration: snap.Generation,
 		SnapshotAgeSeconds: time.Since(snap.PublishedAt).Seconds(),
+
+		WALAppends:         s.met.walAppends.Load(),
+		WALAppendErrors:    s.met.walAppendErrors.Load(),
+		PersistErrors:      s.met.persistErrors.Load() + s.cache.Stats().PersistErrors,
+		RecoveredBatches:   s.met.recoveredBatches.Load(),
+		QuarantinedBlobs:   s.met.quarantinedBlobs.Load(),
+		ChecksumMismatches: s.met.checksumMismatches.Load(),
 	}
 }

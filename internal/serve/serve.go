@@ -26,6 +26,7 @@ import (
 	"cspm/internal/graph"
 	"cspm/internal/shardcache"
 	"cspm/internal/shardrpc"
+	"cspm/internal/wal"
 )
 
 // Options configures a Server. The zero value serves with the paper's
@@ -59,15 +60,77 @@ type Options struct {
 	// collecting the pending batch, so bursts of mutations coalesce into
 	// one re-mine. 0 re-mines as soon as the loop is free.
 	Debounce time.Duration
-	// RetryBackoff is how long the loop waits after a failed re-mine
-	// before retrying the re-queued batch, so acknowledged mutations are
-	// never stranded waiting for the next external trigger but a
-	// persistently dead fleet is not hammered. 0 uses a 1s default.
+	// RetryBackoff is the base delay after a failed re-mine before retrying
+	// the re-queued batch, so acknowledged mutations are never stranded
+	// waiting for the next external trigger. Consecutive failures back off
+	// exponentially (with deterministic jitter) from this base up to
+	// RetryBackoffMax, so a persistently dead fleet is not retry-stormed.
+	// 0 uses a 1s default.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential retry backoff. 0 uses a 30s
+	// default; it is raised to RetryBackoff if set below it.
+	RetryBackoffMax time.Duration
+	// WALDir, when non-empty, enables the durability contract: a mutation
+	// batch is acknowledged only after it is fsync'd into a write-ahead log
+	// under this directory, and NewServer replays unfolded batches on
+	// startup, so a crash never loses an acknowledged batch (see DESIGN.md
+	// "Durability & crash recovery"). With PersistDir also set, every
+	// published re-mine checkpoints the folded state there and compacts the
+	// log; WAL-only servers keep the full log and replay it all on restart.
+	WALDir string
+	// WALSegmentBytes is the WAL's segment rotation threshold
+	// (0 = wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// WALFS overrides the filesystem the WAL runs on (nil = the real one).
+	// Recovery tests inject a fault-injecting shim here; requires WALDir.
+	WALFS wal.FS
+	// Standby makes NewServer refuse to cold-start: it must find durable
+	// state — a committed checkpoint in PersistDir or acknowledged batches
+	// in WALDir — to promote, so a warm spare pointed at a primary's
+	// directories can never silently come up empty. With a checkpoint
+	// present the base graph argument may be nil. Requires WALDir or
+	// PersistDir.
+	Standby bool
 }
 
-// defaultRetryBackoff paces automatic retries of a failed re-mine.
-const defaultRetryBackoff = time.Second
+// defaultRetryBackoff and defaultRetryBackoffMax pace automatic retries of
+// a failed re-mine: exponential from the base, capped at the max.
+const (
+	defaultRetryBackoff    = time.Second
+	defaultRetryBackoffMax = 30 * time.Second
+)
+
+// retryDelay is the wait before retry number `failures` (1-based count of
+// consecutive failures): base·2^(failures-1), capped at max, with a
+// deterministic ±12.5% jitter derived from the failure count so concurrent
+// servers desynchronise without any shared randomness and tests can pin the
+// exact schedule.
+func retryDelay(base, max time.Duration, failures uint64) time.Duration {
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	if max <= 0 {
+		max = defaultRetryBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := uint64(1); i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if span := int64(d / 8); span > 0 {
+		h := failures * 0x9E3779B97F4A7C15 // splitmix64 increment: cheap avalanche
+		d += time.Duration(int64(h%uint64(2*span+1)) - span)
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
 
 // Validate sanity-checks the options.
 func (o Options) Validate() error {
@@ -88,6 +151,18 @@ func (o Options) Validate() error {
 	}
 	if o.RetryBackoff < 0 {
 		return fmt.Errorf("serve: RetryBackoff must be >= 0, got %v", o.RetryBackoff)
+	}
+	if o.RetryBackoffMax < 0 {
+		return fmt.Errorf("serve: RetryBackoffMax must be >= 0, got %v", o.RetryBackoffMax)
+	}
+	if o.WALSegmentBytes < 0 {
+		return fmt.Errorf("serve: WALSegmentBytes must be >= 0, got %d", o.WALSegmentBytes)
+	}
+	if o.WALFS != nil && o.WALDir == "" {
+		return fmt.Errorf("serve: WALFS requires WALDir")
+	}
+	if o.Standby && o.WALDir == "" && o.PersistDir == "" {
+		return fmt.Errorf("serve: Standby requires WALDir or PersistDir to promote from")
 	}
 	return nil
 }
@@ -133,15 +208,23 @@ type Server struct {
 	snap  atomic.Pointer[Snapshot]
 	met   metrics
 
-	mu       sync.Mutex
-	closed   bool          // set by Close; rejects further mutation submits
-	pending  []Mutation    // mutations not yet collected into a re-mine batch
-	mutSeq   uint64        // total mutations accepted
-	minedSeq uint64        // mutations covered by the published snapshot
-	failSeq  uint64        // mutations covered by the latest failed attempt
-	attempts uint64        // completed re-mine attempts (success or failure)
-	lastErr  error         // latest re-mine failure, nil after a success
-	notify   chan struct{} // closed and replaced on every publish or failure
+	wl           *wal.Log      // nil unless Options.WALDir enabled durability
+	subMu        sync.Mutex    // serialises submits so WAL order = log order
+	rec          RecoveryStats // what NewServer recovered; fixed at startup
+	ckptModelSum string        // verified checkpoint's model commitment
+
+	mu            sync.Mutex
+	closed        bool          // set by Close; rejects further mutation submits
+	pending       []Mutation    // mutations not yet collected into a re-mine batch
+	mutSeq        uint64        // total mutations accepted
+	minedSeq      uint64        // mutations covered by the published snapshot
+	failSeq       uint64        // mutations covered by the latest failed attempt
+	attempts      uint64        // completed re-mine attempts (success or failure)
+	consecFails   uint64        // consecutive failed attempts; drives the backoff
+	batchSeq      uint64        // last WAL batch sequence appended or replayed
+	foldedBatches uint64        // WAL batches covered by the published snapshot
+	lastErr       error         // latest re-mine failure, nil after a success
+	notify        chan struct{} // closed and replaced on every publish or failure
 
 	wake      chan struct{}
 	quit      chan struct{}
@@ -150,9 +233,13 @@ type Server struct {
 	closeErr  error
 }
 
-// NewServer validates opts, mines g synchronously for the generation-1
+// NewServer validates opts, recovers any durable state (checkpoint in
+// PersistDir, unfolded batches in the WAL — see DESIGN.md "Durability &
+// crash recovery"), mines the recovered graph synchronously for the first
 // snapshot, and starts the background re-mine loop. Callers must Close the
-// server to stop the loop (and flush the cache when PersistDir is set).
+// server to stop the loop (and flush the cache when PersistDir is set). g
+// may be nil only when Standby is set and a committed checkpoint supplies
+// the graph.
 func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -168,11 +255,30 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 	if s.cache == nil {
 		s.cache = shardcache.New(0)
 	}
-	model, err := s.mine(g)
+	base, gen, err := s.recoverStartup(g)
+	if err != nil {
+		return nil, err
+	}
+	model, err := s.mine(base)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial mine: %w", err)
 	}
-	s.snap.Store(newSnapshot(1, g, model))
+	if model, err = s.verifyRecoveredModel(base, model); err != nil {
+		return nil, err
+	}
+	snap := newSnapshot(gen, base, model)
+	s.snap.Store(snap)
+	if s.wl != nil && opts.PersistDir != "" {
+		// Commit the recovered state immediately: replayed batches fold into
+		// a fresh checkpoint and their segments compact away, so the next
+		// restart (or a standby on the same directories) starts clean.
+		s.mu.Lock()
+		s.foldedBatches = s.batchSeq
+		s.mu.Unlock()
+		if err := s.checkpoint(snap); err != nil {
+			return nil, fmt.Errorf("serve: startup checkpoint: %w", err)
+		}
+	}
 	s.mux = s.routes()
 	go s.loop()
 	return s, nil
@@ -196,6 +302,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // batch is all-or-nothing: the first invalid mutation rejects the whole
 // slice and nothing is enqueued. Vertex-range validation is stable across
 // pending batches because mutations never change the vertex count.
+//
+// With a WAL configured, a nil return means the batch is DURABLE: it was
+// fsync'd into the log before being enqueued, and recovery replays it if
+// the process dies before a snapshot folds it in. A failed append returns
+// ErrUnavailable (wrapped) and the batch is not accepted.
 func (s *Server) SubmitMutations(muts []Mutation) error {
 	if len(muts) == 0 {
 		return fmt.Errorf("serve: empty mutation batch")
@@ -207,14 +318,38 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 			return fmt.Errorf("serve: mutation %d: %w", i, err)
 		}
 	}
+	// subMu serialises the append with the enqueue so WAL order is exactly
+	// mutation-log order — recovery replay then rebuilds the same graph a
+	// crash-free run would have.
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
 		s.met.mutationsRejected.Add(uint64(len(muts)))
 		return fmt.Errorf("serve: server closed, mutations not accepted")
 	}
+	var seq uint64
+	if s.wl != nil {
+		payload, err := encodeBatch(muts)
+		if err != nil {
+			s.met.mutationsRejected.Add(uint64(len(muts)))
+			return err
+		}
+		if seq, err = s.wl.Append(payload); err != nil {
+			s.met.walAppendErrors.Add(1)
+			s.met.mutationsRejected.Add(uint64(len(muts)))
+			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+		s.met.walAppends.Add(1)
+	}
+	s.mu.Lock()
 	s.pending = append(s.pending, muts...)
 	s.mutSeq += uint64(len(muts))
+	if s.wl != nil {
+		s.batchSeq = seq
+	}
 	s.mu.Unlock()
 	s.met.mutationsAccepted.Add(uint64(len(muts)))
 	s.trigger()
@@ -295,10 +430,12 @@ func (s *Server) AwaitGeneration(ctx context.Context, gen uint64) error {
 // Close stops the re-mine loop (letting an in-flight re-mine finish),
 // runs one final re-mine over any still-pending acknowledged mutations so
 // a graceful shutdown never silently discards a 202-acked batch, and, when
-// PersistDir is set, flushes the cache's resident entries to disk so the
-// next server warm-starts. Close is idempotent and does not drain HTTP
-// requests — the owning http.Server's Shutdown does that first, which is
-// exactly what lets mutations accepted mid-drain reach the final re-mine.
+// PersistDir is set, checkpoints the served state (folded graph, cache
+// blobs, MANIFEST) so the next server — or a warm standby — promotes
+// without a cold re-mine. With a WAL, folded segments are compacted and the
+// log is closed last. Close is idempotent and does not drain HTTP requests
+// — the owning http.Server's Shutdown does that first, which is exactly
+// what lets mutations accepted mid-drain reach the final re-mine.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
@@ -313,7 +450,12 @@ func (s *Server) Close() error {
 			s.mu.Unlock()
 		}
 		if s.opts.PersistDir != "" {
-			if err := s.cache.Persist(s.opts.PersistDir); err != nil && s.closeErr == nil {
+			if err := s.checkpoint(s.snap.Load()); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		if s.wl != nil {
+			if err := s.wl.Close(); err != nil && s.closeErr == nil {
 				s.closeErr = err
 			}
 		}
@@ -353,11 +495,12 @@ func (s *Server) loop() {
 			// The batch was re-queued; retry after a backoff instead of
 			// waiting for the next external trigger, so acknowledged
 			// mutations are never stranded behind a transient failure.
-			backoff := s.opts.RetryBackoff
-			if backoff == 0 {
-				backoff = defaultRetryBackoff
-			}
-			t := time.NewTimer(backoff)
+			// Consecutive failures back off exponentially so a dead fleet
+			// is probed, not hammered.
+			s.mu.Lock()
+			failures := s.consecFails
+			s.mu.Unlock()
+			t := time.NewTimer(retryDelay(s.opts.RetryBackoff, s.opts.RetryBackoffMax, failures))
 			select {
 			case <-s.quit:
 				t.Stop()
@@ -379,6 +522,7 @@ func (s *Server) remine() bool {
 	batch := s.pending
 	s.pending = nil
 	covered := s.mutSeq
+	coveredBatch := s.batchSeq
 	s.mu.Unlock()
 	if len(batch) == 0 {
 		return true
@@ -393,22 +537,35 @@ func (s *Server) remine() bool {
 		s.pending = append(batch, s.pending...)
 		s.failSeq = covered
 		s.attempts++
+		s.consecFails++
 		s.lastErr = err
 		s.broadcastLocked()
 		s.mu.Unlock()
 		return false
 	}
 	elapsed := time.Since(start)
-	s.snap.Store(newSnapshot(cur.Generation+1, next, model))
+	snap := newSnapshot(cur.Generation+1, next, model)
+	s.snap.Store(snap)
 	s.met.remines.Add(1)
 	s.met.remineNanosTotal.Add(elapsed.Nanoseconds())
 	s.met.remineNanosLast.Store(elapsed.Nanoseconds())
 	s.mu.Lock()
 	s.minedSeq = covered
+	s.foldedBatches = coveredBatch
 	s.attempts++
+	s.consecFails = 0
 	s.lastErr = nil
 	s.broadcastLocked()
 	s.mu.Unlock()
+	if s.wl != nil && s.opts.PersistDir != "" {
+		// Checkpoint-then-compact: once the folded state is committed in the
+		// persist dir, the WAL segments holding those batches may go. A
+		// failed checkpoint is non-fatal — the log simply keeps the batches
+		// and the next publish (or Close) tries again.
+		if err := s.checkpoint(snap); err != nil {
+			s.met.persistErrors.Add(1)
+		}
+	}
 	return true
 }
 

@@ -1,0 +1,177 @@
+package shardcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundtripAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	for i := byte(1); i <= 3; i++ {
+		if err := c.Put(key(i), entry(int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man := &Manifest{
+		Generation:      7,
+		FoldedBatches:   4,
+		FoldedMutations: 9,
+		ModelSHA256:     strings.Repeat("a", 64),
+		GraphSHA256:     strings.Repeat("b", 64),
+		Vocab:           []string{"smoker", "cancer"},
+	}
+	if err := c.PersistManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Blobs) != 3 {
+		t.Fatalf("manifest lists %d blobs, want 3", len(man.Blobs))
+	}
+
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 7 || got.FoldedBatches != 4 || got.FoldedMutations != 9 ||
+		got.ModelSHA256 != man.ModelSHA256 || got.GraphSHA256 != man.GraphSHA256 ||
+		len(got.Vocab) != 2 || got.Vocab[0] != "smoker" || len(got.Blobs) != 3 {
+		t.Fatalf("manifest did not roundtrip: %+v", got)
+	}
+
+	// All blobs intact: nothing quarantined.
+	q, err := VerifyBlobs(dir, got)
+	if err != nil || len(q) != 0 {
+		t.Fatalf("clean dir verified as %v, %v", q, err)
+	}
+	// Flip a byte in one blob: exactly that blob is quarantined, by rename.
+	var victim string
+	for name := range got.Blobs {
+		victim = name
+		break
+	}
+	path := filepath.Join(dir, victim)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, err = VerifyBlobs(dir, got)
+	if err != nil || len(q) != 1 || q[0] != victim {
+		t.Fatalf("tampered blob verification = %v, %v; want [%s]", q, err, victim)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("quarantined blob still present under its original name")
+	}
+	if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+		t.Fatalf("quarantined blob not preserved for post-mortem: %v", err)
+	}
+	// A quarantined (now missing) blob is a future miss, not an error.
+	q, err = VerifyBlobs(dir, got)
+	if err != nil || len(q) != 0 {
+		t.Fatalf("re-verification over the missing blob = %v, %v", q, err)
+	}
+}
+
+func TestLoadManifestMissingAndInvalid(t *testing.T) {
+	dir := t.TempDir()
+	if m, err := LoadManifest(dir); m != nil || err != nil {
+		t.Fatalf("missing manifest = %v, %v; want nil, nil", m, err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("malformed manifest loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version manifest = %v, want a version error", err)
+	}
+}
+
+func TestQuarantineDir(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	for i := byte(1); i <= 2; i++ {
+		if err := c.Put(key(i), entry(int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Non-blob files are untouched by the sweep.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := QuarantineDir(dir)
+	if err != nil || n != 2 {
+		t.Fatalf("QuarantineDir = %d, %v; want 2, nil", n, err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil || len(left) != 0 {
+		t.Fatalf("blobs left unquarantined: %v", left)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err != nil {
+		t.Fatalf("non-blob file swept away: %v", err)
+	}
+	// An absent directory quarantines nothing rather than failing.
+	if n, err := QuarantineDir(filepath.Join(dir, "nope")); n != 0 || err != nil {
+		t.Fatalf("QuarantineDir on a missing dir = %d, %v", n, err)
+	}
+}
+
+// TestPersistAggregatesPerEntryErrors: one unwritable entry must not abort
+// the flush — every other entry persists, the error names the failure count,
+// and the PersistErrors stat records it.
+func TestPersistAggregatesPerEntryErrors(t *testing.T) {
+	dir := t.TempDir()
+	c := New(0)
+	for i := byte(1); i <= 3; i++ {
+		if err := c.Put(key(i), entry(int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Occupy one entry's blob name with a directory: the atomic rename onto
+	// it fails for that entry alone.
+	blocked := key(2).filename()
+	if err := os.MkdirAll(filepath.Join(dir, blocked), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Persist(dir)
+	if err == nil || !strings.Contains(err.Error(), "1 of 3 entries failed to persist") {
+		t.Fatalf("Persist over a blocked entry = %v, want the aggregated count", err)
+	}
+	if got := c.Stats().PersistErrors; got != 1 {
+		t.Fatalf("PersistErrors stat = %d, want 1", got)
+	}
+	blobs, err := filepath.Glob(filepath.Join(dir, "*.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := 0
+	for _, b := range blobs {
+		if fi, err := os.Stat(b); err == nil && !fi.IsDir() {
+			persisted++
+		}
+	}
+	if persisted != 2 {
+		t.Fatalf("persisted %d healthy entries, want 2", persisted)
+	}
+	// The failed entry is absent from a manifest's blob commitments too.
+	man := &Manifest{}
+	if err := c.PersistManifest(dir, man); err == nil {
+		t.Fatal("PersistManifest over a blocked entry reported success")
+	}
+	if _, listed := man.Blobs[blocked]; listed || len(man.Blobs) != 2 {
+		t.Fatalf("manifest lists %d blobs (blocked listed=%v), want 2 healthy", len(man.Blobs), listed)
+	}
+}

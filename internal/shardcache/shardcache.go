@@ -17,8 +17,12 @@
 package shardcache
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -73,10 +77,11 @@ func cloneStats(stats []invdb.LineStat) []invdb.LineStat {
 
 // Stats is a snapshot of the cache's lifetime counters.
 type Stats struct {
-	Hits      uint64 // lookups served from memory or disk
-	Misses    uint64 // lookups that found nothing
-	Evictions uint64 // entries dropped from memory by the LRU bound
-	Entries   int    // entries currently resident in memory
+	Hits          uint64 // lookups served from memory or disk
+	Misses        uint64 // lookups that found nothing
+	Evictions     uint64 // entries dropped from memory by the LRU bound
+	PersistErrors uint64 // entries a Persist/PersistManifest failed to write
+	Entries       int    // entries currently resident in memory
 }
 
 // Cache is a fingerprint-keyed shard-result cache: an LRU-bounded in-memory
@@ -92,6 +97,7 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	perErrs   uint64 // Persist/PersistManifest entry-write failures
 }
 
 // lruEntry is the list payload: the key rides along so eviction can index
@@ -136,7 +142,8 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		PersistErrors: c.perErrs, Entries: c.ll.Len()}
 }
 
 // Get returns the entry stored under k, consulting memory first and then the
@@ -197,17 +204,29 @@ func (c *Cache) Put(k Key, e *Entry) error {
 
 // Persist writes every entry currently resident in memory as a blob under
 // dir (creating it if needed), using the same atomic one-gob-blob-per-key
-// format as the disk layer — so a memory-only cache can be flushed at
+// format as the disk layer (temp file + rename, so a crash mid-write leaves
+// either the old blob or none) — a memory-only cache can be flushed at
 // shutdown and re-opened later with Open for a warm start. Entries already
 // on disk are rewritten with identical bytes, which makes Persist an
 // idempotent no-op-equivalent for a dir-backed cache flushing to its own
-// directory. It returns the first write error after attempting every entry.
+// directory. A failed entry is non-fatal: the rest still persist, the
+// failure count feeds the PersistErrors stat, and the aggregated error of
+// every failed entry is returned.
 func (c *Cache) Persist(dir string) error {
+	_, err := c.persistEntries(dir, false)
+	return err
+}
+
+// persistEntries is the shared flush path behind Persist and
+// PersistManifest. When withSums is set it returns each written blob's
+// SHA-256 (hex) keyed by file name; failed entries are counted, skipped in
+// the sums, and aggregated into the returned error.
+func (c *Cache) persistEntries(dir string, withSums bool) (map[string]string, error) {
 	if dir == "" {
-		return fmt.Errorf("shardcache: empty persist directory")
+		return nil, fmt.Errorf("shardcache: empty persist directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("shardcache: %w", err)
+		return nil, fmt.Errorf("shardcache: %w", err)
 	}
 	// Snapshot the resident set under the mutex, write outside it: entries
 	// are shared read-only once admitted, so encoding unlocked is safe and
@@ -219,13 +238,44 @@ func (c *Cache) Persist(dir string) error {
 		snapshot[le.key] = le.entry
 	}
 	c.mu.Unlock()
-	var firstErr error
+	var sums map[string]string
+	if withSums {
+		sums = make(map[string]string, len(snapshot))
+	}
+	var errs []error
 	for k, e := range snapshot {
-		if err := storeBlob(dir, k, e); err != nil && firstErr == nil {
-			firstErr = err
+		blob, err := encodeEntry(e)
+		if err == nil {
+			err = writeFileAtomic(dir, k.filename(), blob, false)
+		}
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if withSums {
+			sum := sha256.Sum256(blob)
+			sums[k.filename()] = hex.EncodeToString(sum[:])
 		}
 	}
-	return firstErr
+	if len(errs) > 0 {
+		c.mu.Lock()
+		c.perErrs += uint64(len(errs))
+		c.mu.Unlock()
+		return sums, fmt.Errorf("shardcache: %d of %d entries failed to persist: %w",
+			len(errs), len(snapshot), errors.Join(errs...))
+	}
+	return sums, nil
+}
+
+// Purge drops every entry resident in memory. Disk blobs are untouched (use
+// QuarantineDir to distrust those); the next lookups repopulate from disk or
+// miss. Purge is how a server discards a cache whose recovered state failed
+// checksum verification.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = make(map[Key]*list.Element)
 }
 
 // Remove invalidates k in both layers, reporting whether anything existed.
@@ -284,23 +334,64 @@ func (c *Cache) storeDisk(k Key, e *Entry) error {
 // so a crash mid-write leaves either the old blob or none, and concurrent
 // writers of one key leave one winner.
 func storeBlob(dir string, k Key, e *Entry) error {
-	path := filepath.Join(dir, k.filename())
+	blob, err := encodeEntry(e)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, k.filename(), blob, false)
+}
+
+// encodeEntry gob-encodes e into a byte slice, so callers can checksum the
+// exact bytes that hit disk.
+func encodeEntry(e *Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("shardcache: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeFileAtomic writes data as dir/name via temp file + rename. With sync
+// set it fsyncs the temp file before the rename and the directory after, so
+// the rename is a durable commit point and not just an atomic one.
+func writeFileAtomic(dir, name string, data []byte, sync bool) error {
 	tmp, err := os.CreateTemp(dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("shardcache: %w", err)
 	}
-	if err := gob.NewEncoder(tmp).Encode(e); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("shardcache: %w", err)
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("shardcache: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("shardcache: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("shardcache: %w", err)
 	}
+	if sync {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("shardcache: %w", err)
+		}
+	}
 	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

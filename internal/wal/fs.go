@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the handful of filesystem operations the WAL performs, so
+// recovery tests can drive the log through a deterministic fault-injecting
+// shim (package crashfs) instead of the real disk. A Log calls every method
+// from at most one goroutine at a time; implementations need not add their
+// own locking for the Log's sake.
+type FS interface {
+	// MkdirAll creates dir and any missing parents (no error if it exists).
+	MkdirAll(dir string) error
+	// List returns the base names of the regular files directly under dir,
+	// sorted ascending. A missing directory lists as empty, not as an error.
+	List(dir string) ([]string, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// Create creates (or truncates) name for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs the directory so entry creation and removal survive a
+	// crash, not just the file contents.
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface the WAL needs: sequential reads, appends,
+// and a durability barrier.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync blocks until previously written bytes are durable. A record is
+	// acknowledged only after Sync returns nil (see DESIGN.md "Durability &
+	// crash recovery").
+	Sync() error
+}
+
+// OS returns the FS backed by the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
