@@ -7,7 +7,11 @@
 // re-mine degrades to staleness, never to unavailability.
 //
 // Endpoints: GET /v1/patterns, POST /v1/complete, GET /v1/model,
-// GET /v1/healthz, GET /v1/metrics, POST /v1/mutations.
+// GET /v1/healthz, GET /v1/metrics, POST /v1/mutations, and
+// GET /v1/watch — a long-poll that resolves with {generation, model_sha256}
+// once a generation >= the client's is published (bounded wait; drains
+// instantly on shutdown). Mutation batches may grow and shrink the vertex
+// set (add_vertex/del_vertex) as well as edit attributes and edges.
 //
 // Usage:
 //

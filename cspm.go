@@ -217,9 +217,14 @@ type (
 	// ServerSnapshot is one immutable serving state: generation, graph,
 	// model, and the completion scorer built over both.
 	ServerSnapshot = serve.Snapshot
-	// GraphMutation is one vertex-attribute or edge edit submitted to a
-	// Server's mutation log.
+	// GraphMutation is one edit submitted to a Server's mutation log:
+	// attribute or edge edits, or vertex add/remove ops that grow and
+	// shrink the served graph (validated per batch with a running vertex
+	// count; deletes shift later ids down by one).
 	GraphMutation = serve.Mutation
+	// ServerWatchResponse is the GET /v1/watch long-poll payload: the
+	// published generation and its model commitment.
+	ServerWatchResponse = serve.WatchResponse
 	// ServerMetrics is the server's counters snapshot (/v1/metrics).
 	ServerMetrics = serve.MetricsSnapshot
 	// ServerRecoveryStats reports what NewServer recovered from durable

@@ -437,6 +437,10 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: sv}
+	// Release /v1/watch long-polls the moment a graceful drain starts:
+	// Shutdown waits for in-flight responses, and a watcher mid-poll would
+	// otherwise hold the drain open until its timeout lapsed.
+	hs.RegisterOnShutdown(sv.Drain)
 	go hs.Serve(l)
 	shutdown = func(ctx context.Context) error {
 		// Drain first (Shutdown waits for in-flight responses to complete),

@@ -1,0 +1,255 @@
+// Online evolution support: the bridge from this package's offline snapshot
+// sequences to the serving subsystem's mutation log. Materialize renders one
+// snapshot as a static graph, DiffSnapshots turns consecutive snapshots into
+// the edit batches that evolve one into the next, and RandomEvolution
+// generates seeded grow/shrink edit sequences (vertex adds and deletes
+// included) with a materialized reference graph per step — the ground truth
+// the serve-level equivalence suite mines against.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cspm/internal/graph"
+)
+
+// Materialize renders snapshot t as a static attributed graph over the full
+// fixed vertex set (attributes and edges of that snapshot only, no temporal
+// encoding). Attribute interning order is per-call (ascending vertex, then
+// the snapshot's value order); compare materialized models by name-canonical
+// digest, not by interned id.
+func (d *Graph) Materialize(t int) (*graph.Graph, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if t < 0 || t >= len(d.Snapshots) {
+		return nil, fmt.Errorf("dynamic: snapshot %d out of range [0,%d)", t, len(d.Snapshots))
+	}
+	s := d.Snapshots[t]
+	b := graph.NewBuilder(d.NumVertices)
+	for v := 0; v < d.NumVertices; v++ {
+		for _, val := range s.Attrs[graph.VertexID(v)] {
+			if err := b.AddAttr(graph.VertexID(v), val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range s.Edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// DiffSnapshots expresses the snapshot sequence as edit batches: batch t-1
+// of the result transforms Materialize(t-1) into Materialize(t) when applied
+// through graph.Rebuild (attribute deletes and adds, then edge deletes and
+// adds; all deterministic, ascending order). Feeding the batches to a
+// serving mutation log replays the offline dynamic graph as a live workload.
+func DiffSnapshots(d *Graph) ([][]graph.Edit, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([][]graph.Edit, 0, max(0, len(d.Snapshots)-1))
+	for t := 1; t < len(d.Snapshots); t++ {
+		prev, cur := d.Snapshots[t-1], d.Snapshots[t]
+		var batch []graph.Edit
+		for v := 0; v < d.NumVertices; v++ {
+			pv := stringSet(prev.Attrs[graph.VertexID(v)])
+			cv := stringSet(cur.Attrs[graph.VertexID(v)])
+			for _, val := range sortedKeys(pv) {
+				if !cv[val] {
+					batch = append(batch, graph.Edit{Op: graph.EditDelAttr, U: graph.VertexID(v), Value: val})
+				}
+			}
+			for _, val := range sortedKeys(cv) {
+				if !pv[val] {
+					batch = append(batch, graph.Edit{Op: graph.EditAddAttr, U: graph.VertexID(v), Value: val})
+				}
+			}
+		}
+		pe := edgeSet(prev.Edges)
+		ce := edgeSet(cur.Edges)
+		for _, e := range sortedEdges(pe) {
+			if !ce[e] {
+				batch = append(batch, graph.Edit{Op: graph.EditDelEdge, U: e[0], V: e[1]})
+			}
+		}
+		for _, e := range sortedEdges(ce) {
+			if !pe[e] {
+				batch = append(batch, graph.Edit{Op: graph.EditAddEdge, U: e[0], V: e[1]})
+			}
+		}
+		out = append(out, batch)
+	}
+	return out, nil
+}
+
+// EvolutionOptions sizes a RandomEvolution run. The zero value gets small
+// non-zero defaults.
+type EvolutionOptions struct {
+	// InitialVertices is |V| of the starting graph (default 8).
+	InitialVertices int
+	// Steps is the number of edit batches to generate (default 6).
+	Steps int
+	// OpsPerStep is the number of edits per batch (default 4).
+	OpsPerStep int
+	// Values is the attribute palette (default a six-value palette).
+	Values []string
+}
+
+// Evolution is one generated grow/shrink history: a starting graph, one
+// edit batch per step, and the materialized reference graph AFTER each step
+// (States[i] is Start with Batches[..i] applied — what an online server
+// publishing after batch i must be bit-equivalent to mining).
+type Evolution struct {
+	Start   *graph.Graph
+	Batches [][]graph.Edit
+	States  []*graph.Graph
+}
+
+// RandomEvolution generates a seeded, deterministic evolving-graph history
+// whose batches interleave vertex adds and deletes with attribute and edge
+// edits. Every batch is valid at its application point: the generator
+// applies each batch through graph.Rebuild as it goes and draws the next
+// batch against the current state, exactly like an online client that reads
+// its own writes.
+func RandomEvolution(seed int64, opts EvolutionOptions) (*Evolution, error) {
+	if opts.InitialVertices <= 0 {
+		opts.InitialVertices = 8
+	}
+	if opts.Steps <= 0 {
+		opts.Steps = 6
+	}
+	if opts.OpsPerStep <= 0 {
+		opts.OpsPerStep = 4
+	}
+	if len(opts.Values) == 0 {
+		opts.Values = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	b := graph.NewBuilder(opts.InitialVertices)
+	for v := 0; v < opts.InitialVertices; v++ {
+		_ = b.AddAttr(graph.VertexID(v), opts.Values[rng.Intn(len(opts.Values))])
+		if v > 0 && rng.Intn(2) == 0 {
+			_ = b.AddEdge(graph.VertexID(v), graph.VertexID(rng.Intn(v)))
+		}
+	}
+	ev := &Evolution{Start: b.Build()}
+
+	cur := ev.Start
+	for step := 0; step < opts.Steps; step++ {
+		batch := make([]graph.Edit, 0, opts.OpsPerStep)
+		n := cur.NumVertices() // running count while drawing this batch
+		for len(batch) < opts.OpsPerStep {
+			e, ok := drawEdit(rng, n, opts.Values)
+			if !ok {
+				continue
+			}
+			batch = append(batch, e)
+			if e.Op == graph.EditAddVertex {
+				n++
+			} else if e.Op == graph.EditDelVertex {
+				n--
+			}
+		}
+		next, err := graph.Rebuild(cur, batch)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: generated invalid batch at step %d: %w", step, err)
+		}
+		ev.Batches = append(ev.Batches, batch)
+		ev.States = append(ev.States, next)
+		cur = next
+	}
+	return ev, nil
+}
+
+// drawEdit proposes one edit valid against a graph of n vertices, where n
+// already reflects earlier edits of the same in-progress batch — vertex ids
+// are drawn against the running count, which keeps every draw in range no
+// matter how earlier deletes shifted the id frame. ok=false asks the caller
+// to redraw.
+func drawEdit(rng *rand.Rand, n int, palette []string) (graph.Edit, bool) {
+	switch rng.Intn(10) {
+	case 0, 1: // add_vertex, sometimes immediately wired in
+		return graph.Edit{Op: graph.EditAddVertex}, true
+	case 2: // del_vertex (keep the graph non-trivial)
+		if n <= 2 {
+			return graph.Edit{}, false
+		}
+		return graph.Edit{Op: graph.EditDelVertex, U: graph.VertexID(rng.Intn(n))}, true
+	case 3, 4, 5: // add_attr
+		return graph.Edit{Op: graph.EditAddAttr, U: graph.VertexID(rng.Intn(n)),
+			Value: palette[rng.Intn(len(palette))]}, true
+	case 6: // del_attr (may be a no-op; still a legal edit)
+		return graph.Edit{Op: graph.EditDelAttr, U: graph.VertexID(rng.Intn(n)),
+			Value: palette[rng.Intn(len(palette))]}, true
+	case 7, 8: // add_edge
+		if n < 2 {
+			return graph.Edit{}, false
+		}
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		return graph.Edit{Op: graph.EditAddEdge, U: graph.VertexID(u), V: graph.VertexID(v)}, true
+	default: // del_edge (may be a no-op)
+		if n < 2 {
+			return graph.Edit{}, false
+		}
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		return graph.Edit{Op: graph.EditDelEdge, U: graph.VertexID(u), V: graph.VertexID(v)}, true
+	}
+}
+
+func stringSet(vals []string) map[string]bool {
+	out := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		out[v] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func edgeSet(edges [][2]graph.VertexID) map[[2]graph.VertexID]bool {
+	out := make(map[[2]graph.VertexID]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		out[[2]graph.VertexID{u, v}] = true
+	}
+	return out
+}
+
+func sortedEdges(m map[[2]graph.VertexID]bool) [][2]graph.VertexID {
+	out := make([][2]graph.VertexID, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

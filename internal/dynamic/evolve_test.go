@@ -1,0 +1,167 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"cspm/internal/graph"
+)
+
+// evolveTestGraph is a 3-vertex, 3-snapshot dynamic graph with attribute
+// and edge churn between every pair of consecutive snapshots.
+func evolveTestGraph() *Graph {
+	return &Graph{
+		NumVertices: 3,
+		Snapshots: []Snapshot{
+			{
+				Attrs: map[graph.VertexID][]string{0: {"up"}, 1: {"up", "hot"}},
+				Edges: [][2]graph.VertexID{{0, 1}},
+			},
+			{
+				Attrs: map[graph.VertexID][]string{0: {"up"}, 1: {"hot"}, 2: {"up"}},
+				Edges: [][2]graph.VertexID{{0, 1}, {1, 2}},
+			},
+			{
+				Attrs: map[graph.VertexID][]string{1: {"hot", "down"}, 2: {"up"}},
+				Edges: [][2]graph.VertexID{{2, 1}},
+			},
+		},
+	}
+}
+
+func sameStatic(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("|V| = %d, want %d", got.NumVertices(), want.NumVertices())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		gset := map[string]bool{}
+		for _, a := range got.Attrs(graph.VertexID(v)) {
+			gset[got.Vocab().Name(a)] = true
+		}
+		wset := map[string]bool{}
+		for _, a := range want.Attrs(graph.VertexID(v)) {
+			wset[want.Vocab().Name(a)] = true
+		}
+		if !reflect.DeepEqual(gset, wset) {
+			t.Fatalf("vertex %d attrs = %v, want %v", v, gset, wset)
+		}
+		if !reflect.DeepEqual(got.Neighbors(graph.VertexID(v)), want.Neighbors(graph.VertexID(v))) {
+			t.Fatalf("vertex %d neighbours = %v, want %v",
+				v, got.Neighbors(graph.VertexID(v)), want.Neighbors(graph.VertexID(v)))
+		}
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	d := evolveTestGraph()
+	g1, err := d.Materialize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != 3 || g1.NumEdges() != 2 {
+		t.Fatalf("got |V|=%d |E|=%d, want 3/2", g1.NumVertices(), g1.NumEdges())
+	}
+	if !g1.HasAttr(2, g1.Vocab().ID("up")) {
+		t.Fatal("vertex 2 lost its attribute")
+	}
+	for _, bad := range []int{-1, 3} {
+		if _, err := d.Materialize(bad); err == nil {
+			t.Fatalf("Materialize(%d) accepted an out-of-range snapshot", bad)
+		}
+	}
+	if _, err := (&Graph{NumVertices: 0}).Materialize(0); err == nil {
+		t.Fatal("Materialize accepted an invalid dynamic graph")
+	}
+}
+
+// TestDiffSnapshotsReplays pins the bridge contract: applying batch t-1
+// through graph.Rebuild transforms Materialize(t-1) into Materialize(t).
+func TestDiffSnapshotsReplays(t *testing.T) {
+	d := evolveTestGraph()
+	batches, err := DiffSnapshots(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != len(d.Snapshots)-1 {
+		t.Fatalf("got %d batches, want %d", len(batches), len(d.Snapshots)-1)
+	}
+	cur, err := d.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, batch := range batches {
+		if len(batch) == 0 {
+			t.Fatalf("batch %d is empty despite churn between snapshots", i)
+		}
+		next, err := graph.Rebuild(cur, batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		want, err := d.Materialize(i + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameStatic(t, next, want)
+		cur = next
+	}
+	if _, err := DiffSnapshots(&Graph{NumVertices: 0}); err == nil {
+		t.Fatal("DiffSnapshots accepted an invalid dynamic graph")
+	}
+}
+
+func TestRandomEvolutionDeterministicAndValid(t *testing.T) {
+	opts := EvolutionOptions{InitialVertices: 6, Steps: 8, OpsPerStep: 5}
+	ev, err := RandomEvolution(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Batches) != 8 || len(ev.States) != 8 {
+		t.Fatalf("got %d batches / %d states, want 8/8", len(ev.Batches), len(ev.States))
+	}
+
+	// States are exactly the chained rebuilds of the batches.
+	cur := ev.Start
+	sawVertexOp := false
+	for i, batch := range ev.Batches {
+		for _, e := range batch {
+			if e.Op == graph.EditAddVertex || e.Op == graph.EditDelVertex {
+				sawVertexOp = true
+			}
+		}
+		next, err := graph.Rebuild(cur, batch)
+		if err != nil {
+			t.Fatalf("batch %d does not apply: %v", i, err)
+		}
+		sameStatic(t, ev.States[i], next)
+		cur = next
+	}
+	if !sawVertexOp {
+		t.Fatal("an 8x5 evolution drew no vertex add/delete; generator weights are off")
+	}
+
+	// Same seed, same history; different seed, different history.
+	again, err := RandomEvolution(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Batches, ev.Batches) {
+		t.Fatal("same seed produced a different evolution")
+	}
+	other, err := RandomEvolution(43, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(other.Batches, ev.Batches) {
+		t.Fatal("different seeds produced identical evolutions")
+	}
+
+	// Defaults fill in.
+	small, err := RandomEvolution(1, EvolutionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Start.NumVertices() != 8 || len(small.Batches) != 6 {
+		t.Fatalf("zero-value options gave |V|=%d steps=%d", small.Start.NumVertices(), len(small.Batches))
+	}
+}

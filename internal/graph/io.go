@@ -13,10 +13,11 @@ import (
 // part and a vertex→attribute mapping part. One file, line-oriented:
 //
 //	# comments and blank lines are ignored
-//	v <id> <value> [<value> ...]   vertex attributes (id in 0..N-1)
+//	v <id> [<value> ...]           vertex attributes (id in 0..N-1)
 //	e <u> <v>                      undirected edge
 //
-// Vertex count is inferred as max id + 1. Values may not contain whitespace.
+// Vertex count is inferred as max id + 1; a v line with no values just
+// declares the vertex. Values may not contain whitespace.
 
 // Load parses the text format from r.
 func Load(r io.Reader) (*Graph, error) {
@@ -108,6 +109,15 @@ func Write(w io.Writer, g *Graph) error {
 	for v := 0; v < g.NumVertices(); v++ {
 		attrs := g.Attrs(VertexID(v))
 		if len(attrs) == 0 {
+			// A vertex with no attributes and no edges would leave no trace in
+			// the output, and Load infers |V| as max id + 1 — so a bare v line
+			// keeps isolated attributeless vertices (which dynamic add_vertex
+			// creates routinely) from vanishing on a Write/Load roundtrip.
+			if g.Degree(VertexID(v)) == 0 {
+				if _, err := fmt.Fprintf(bw, "v %d\n", v); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		names := make([]string, len(attrs))

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -18,13 +19,23 @@ import (
 	"cspm/internal/wal/crashfs"
 )
 
-// testBatches is the mutation workload the durability tests drive: three
-// acknowledged batches whose prefixes all mine to distinct models.
+// testBatches is the mutation workload the durability tests drive: five
+// acknowledged batches whose prefixes all mine to distinct models. The last
+// two grow and shrink the vertex set, so every recovery test also proves
+// vertex ops survive the WAL — and, because replaying add_vertex twice
+// changes |V| where re-adding an attribute is silently idempotent, vertex
+// batches make double-application after a partial recovery DETECTABLE in
+// the model commitment.
 func testBatches() [][]Mutation {
 	return [][]Mutation{
 		{{Op: OpAddAttr, U: 0, Value: "cancer"}},
 		{{Op: OpAddEdge, U: 0, V: 3}, {Op: OpDelAttr, U: 1, Value: "smoker"}},
 		{{Op: OpAddAttr, U: 5, Value: "vldb"}},
+		// Grow: a new vertex (id 8) wired into island 2 and attributed in the
+		// same batch.
+		{{Op: OpAddVertex}, {Op: OpAddEdge, U: 8, V: 4}, {Op: OpAddAttr, U: 8, Value: "vldb"}},
+		// Shrink: delete an attributed vertex; every larger id shifts down.
+		{{Op: OpDelVertex, U: 2}},
 	}
 }
 
@@ -477,6 +488,128 @@ func TestCrashMatrix(t *testing.T) {
 			}
 			want := icspm.Mine(Rebuild(g, append(flatten(batches, r), extra...)))
 			if got := modelChecksum(s2.Snapshot().Model); got != modelChecksum(want) {
+				s2.Close()
+				t.Fatalf("torn=%d crash@%d: post-recovery mutation diverged from offline mine", torn, k)
+			}
+			s2.Close()
+		}
+	}
+}
+
+// checkpointAttempts counts completed checkpoint attempts, committed or
+// failed — the signal the checkpointed crash matrix uses to know that the
+// asynchronous checkpoint-then-compact following a publish has finished.
+func checkpointAttempts(s *Server) uint64 {
+	m := s.Metrics()
+	return m.Checkpoints + m.PersistErrors
+}
+
+// reap simulates process death: it stops the re-mine loop without Close's
+// graceful-shutdown work (final re-mine, checkpoint, WAL close). A crashed
+// process does not get to write a fresh checkpoint on its way down.
+func reap(s *Server) {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	<-s.done
+}
+
+// TestCrashMatrixCheckpointed runs the crash matrix over the FULL durability
+// pipeline — WAL append, publish, checkpoint commit, WAL compaction — with
+// the WAL filesystem killed at every mutating operation (the checkpoint
+// directory is a real filesystem, as in production). The crash points
+// between a checkpoint's commit and its segment compaction are the
+// interesting ones: the folded batches then exist in BOTH the checkpoint
+// and the log, and recovery must fold them exactly once — which the
+// workload's vertex batches make checkable by model commitment.
+func TestCrashMatrixCheckpointed(t *testing.T) {
+	g := testGraph(t)
+	batches := testBatches()
+	sums := prefixChecksums(t, g, batches)
+	const walDir = "/wal"
+	opts := func(fs *crashfs.Dir, pdir string) Options {
+		return Options{WALDir: walDir, WALFS: fs, WALSegmentBytes: 64, PersistDir: pdir}
+	}
+	// workload acknowledges batches in order, waiting out each publish's
+	// checkpoint+compact so the filesystem operation sequence is
+	// deterministic; the return is how many batches were durably acked.
+	workload := func(t *testing.T, d *crashfs.Dir, pdir string) int {
+		s, err := NewServer(g, opts(d, pdir))
+		if err != nil {
+			return 0 // crashed inside the startup checkpoint
+		}
+		acked := 0
+		for _, b := range batches {
+			before := checkpointAttempts(s)
+			if err := s.SubmitMutations(b); err != nil {
+				break
+			}
+			acked++
+			if err := s.Flush(ctxShort(t)); err != nil {
+				break
+			}
+			// A flushed publish always attempts a checkpoint (success or
+			// persist error), so this settles even after the crash fired.
+			for checkpointAttempts(s) == before {
+				runtime.Gosched()
+			}
+		}
+		reap(s)
+		return acked
+	}
+
+	// Dry run: count the workload's mutating WAL filesystem operations.
+	dry := crashfs.New(crashfs.Config{})
+	if got := workload(t, dry, t.TempDir()); got != len(batches) {
+		t.Fatalf("fault-free workload acked %d/%d batches", got, len(batches))
+	}
+	total := dry.Ops()
+	if total == 0 {
+		t.Fatal("workload performed no mutating WAL operations")
+	}
+
+	extra := []Mutation{{Op: OpAddAttr, U: 0, Value: "kdd"}}
+	for _, torn := range []int{0, 3, 1 << 20} {
+		for k := 1; k <= total; k++ {
+			pdir := t.TempDir()
+			d := crashfs.New(crashfs.Config{CrashAtOp: k, TornBytes: torn})
+			acked := workload(t, d, pdir)
+			if !d.Crashed() {
+				t.Fatalf("torn=%d: crash at op %d/%d never fired", torn, k, total)
+			}
+
+			s2, err := NewServer(g, opts(d.Recover(), pdir))
+			if err != nil {
+				t.Fatalf("torn=%d crash@%d: recovery failed: %v", torn, k, err)
+			}
+			// The recovered model must be Mine of SOME batch prefix that
+			// includes every acknowledged batch — never a double-fold (which
+			// the vertex batches would surface as a prefix-less commitment).
+			got := modelChecksum(s2.Snapshot().Model)
+			j := -1
+			for idx, sum := range sums {
+				if sum == got {
+					j = idx
+					break
+				}
+			}
+			if j < acked {
+				s2.Close()
+				t.Fatalf("torn=%d crash@%d: recovered model matches batch prefix %d, acked %d",
+					torn, k, j, acked)
+			}
+			// Recovery must keep serving writes on the recovered log+checkpoint.
+			if err := s2.SubmitMutations(extra); err != nil {
+				s2.Close()
+				t.Fatalf("torn=%d crash@%d: recovered server refused writes: %v", torn, k, err)
+			}
+			if err := s2.Flush(ctxShort(t)); err != nil {
+				s2.Close()
+				t.Fatalf("torn=%d crash@%d: flush on recovered server: %v", torn, k, err)
+			}
+			want := icspm.Mine(Rebuild(g, append(flatten(batches, j), extra...)))
+			if modelChecksum(s2.Snapshot().Model) != modelChecksum(want) {
 				s2.Close()
 				t.Fatalf("torn=%d crash@%d: post-recovery mutation diverged from offline mine", torn, k)
 			}

@@ -127,16 +127,30 @@ const (
 	maxRequestBody = 8 << 20
 )
 
-// routes builds the /v1 mux.
+// routes builds the /v1 mux. Every handler runs under timed, which feeds
+// the per-endpoint latency histograms in /v1/metrics.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
-	mux.HandleFunc("POST /v1/complete", s.handleComplete)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("POST /v1/mutations", s.handleMutations)
+	mux.HandleFunc("GET /v1/patterns", s.timed(epPatterns, s.handlePatterns))
+	mux.HandleFunc("POST /v1/complete", s.timed(epComplete, s.handleComplete))
+	mux.HandleFunc("GET /v1/model", s.timed(epModel, s.handleModel))
+	mux.HandleFunc("GET /v1/healthz", s.timed(epHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /v1/metrics", s.timed(epMetrics, s.handleMetrics))
+	mux.HandleFunc("POST /v1/mutations", s.timed(epMutations, s.handleMutations))
+	mux.HandleFunc("GET /v1/watch", s.timed(epWatch, s.handleWatch))
 	return mux
+}
+
+// timed wraps a handler with the endpoint's latency histogram. For
+// /v1/watch the recorded latency includes the long-poll wait by design —
+// the histogram then doubles as a view of how long watchers actually hold
+// their polls.
+func (s *Server) timed(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.met.latency[ep].observe(time.Since(start))
+	}
 }
 
 // writeJSON emits one response object. Responses are small relative to the

@@ -5,6 +5,77 @@ import (
 	"time"
 )
 
+// endpoint indexes the per-endpoint request counters and latency histograms.
+type endpoint int
+
+const (
+	epPatterns endpoint = iota
+	epComplete
+	epModel
+	epHealthz
+	epMetrics
+	epMutations
+	epWatch
+	numEndpoints
+)
+
+// endpointNames are the wire labels of the latency map, in endpoint order.
+var endpointNames = [numEndpoints]string{
+	"patterns", "complete", "model", "healthz", "metrics", "mutations", "watch",
+}
+
+// latencyBuckets is the number of finite histogram bounds; one overflow
+// bucket rides after them.
+const latencyBuckets = 10
+
+// latencyBucketBounds are the FIXED log-spaced upper bounds, in seconds, of
+// every endpoint latency histogram: 100µs·4^k for k = 0..9 (100µs up to
+// ~26s). Fixed bounds make histograms from different processes and
+// generations mergeable by bucket index; the top bound comfortably covers a
+// full /v1/watch long-poll.
+var latencyBucketBounds = func() [latencyBuckets]float64 {
+	var b [latencyBuckets]float64
+	ub := 100e-6
+	for i := range b {
+		b[i] = ub
+		ub *= 4
+	}
+	return b
+}()
+
+// latencyHist is one endpoint's histogram. Observations are lock-free; a
+// snapshot read is not atomic across buckets, which is fine for monitoring
+// (each bucket is monotone).
+type latencyHist struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	buckets [latencyBuckets + 1]atomic.Uint64 // last bucket = above the top bound
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	sec := d.Seconds()
+	i := 0
+	for i < latencyBuckets && sec > latencyBucketBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+func (h *latencyHist) snapshot() LatencyJSON {
+	out := LatencyJSON{
+		Count:       h.count.Load(),
+		SumSeconds:  time.Duration(h.sumNs.Load()).Seconds(),
+		UpperBounds: latencyBucketBounds[:],
+		Buckets:     make([]uint64, latencyBuckets+1),
+	}
+	for i := range h.buckets {
+		out.Buckets[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // metrics holds the server's lifetime counters. Everything is atomic so the
 // handlers never take a lock on the read path.
 type metrics struct {
@@ -14,8 +85,11 @@ type metrics struct {
 	healthReqs     atomic.Uint64
 	metricsReqs    atomic.Uint64
 	mutationReqs   atomic.Uint64
+	watchReqs      atomic.Uint64
 	badRequests    atomic.Uint64
 	verticesScored atomic.Uint64
+
+	latency [numEndpoints]latencyHist
 
 	mutationsAccepted atomic.Uint64
 	mutationsRejected atomic.Uint64
@@ -28,14 +102,27 @@ type metrics struct {
 	walAppends         atomic.Uint64
 	walAppendErrors    atomic.Uint64
 	persistErrors      atomic.Uint64 // failed checkpoints (cache entry failures counted separately)
+	checkpoints        atomic.Uint64 // checkpoints committed (manifest durable)
 	recoveredBatches   atomic.Uint64
 	quarantinedBlobs   atomic.Uint64
 	checksumMismatches atomic.Uint64
 }
 
+// LatencyJSON is one endpoint's request-latency histogram on the wire:
+// fixed log-spaced upper bounds in seconds, counts per bucket with the last
+// entry counting observations above the top bound, plus the running count
+// and sum for average latency. Watch latencies include the long-poll wait.
+type LatencyJSON struct {
+	Count       uint64    `json:"count"`
+	SumSeconds  float64   `json:"sum_seconds"`
+	UpperBounds []float64 `json:"upper_bounds_seconds"`
+	Buckets     []uint64  `json:"buckets"`
+}
+
 // MetricsSnapshot is the GET /v1/metrics payload: expvar-style flat
 // counters plus the snapshot's identity and age. Field order is part of
-// the wire contract (pinned by the golden fixture test).
+// the wire contract (pinned by the golden fixture test); new fields go at
+// the end.
 type MetricsSnapshot struct {
 	RequestsPatterns  uint64 `json:"requests_patterns"`
 	RequestsComplete  uint64 `json:"requests_complete"`
@@ -66,12 +153,23 @@ type MetricsSnapshot struct {
 	RecoveredBatches   uint64 `json:"recovered_batches"`
 	QuarantinedBlobs   uint64 `json:"quarantined_blobs"`
 	ChecksumMismatches uint64 `json:"checksum_mismatches"`
+
+	// Dynamic-vertex / watch additions (PR 7).
+	RequestsWatch uint64 `json:"requests_watch"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	// Latency maps endpoint label → histogram (encoding/json emits map keys
+	// sorted, so the wire order is deterministic).
+	Latency map[string]LatencyJSON `json:"latency"`
 }
 
 // Metrics snapshots the server's counters and the served snapshot's
 // generation and age.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.snap.Load()
+	lat := make(map[string]LatencyJSON, numEndpoints)
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		lat[endpointNames[ep]] = s.met.latency[ep].snapshot()
+	}
 	return MetricsSnapshot{
 		RequestsPatterns:  s.met.patternsReqs.Load(),
 		RequestsComplete:  s.met.completeReqs.Load(),
@@ -100,5 +198,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		RecoveredBatches:   s.met.recoveredBatches.Load(),
 		QuarantinedBlobs:   s.met.quarantinedBlobs.Load(),
 		ChecksumMismatches: s.met.checksumMismatches.Load(),
+
+		RequestsWatch: s.met.watchReqs.Load(),
+		Checkpoints:   s.met.checkpoints.Load(),
+		Latency:       lat,
 	}
 }

@@ -6,9 +6,12 @@ import (
 	"cspm/internal/graph"
 )
 
-// Mutation ops. Mutations edit vertex attributes and edges of the live
-// graph; the vertex count is fixed at serve time, so vertex-range
-// validation against any snapshot stays correct across pending batches.
+// Mutation ops. Mutations edit vertex attributes, edges, and — since the
+// dynamic-vertex extension — the vertex set of the live graph. Because
+// vertex ops change |V| mid-batch, validation is batch-level
+// (validateBatch) and tracks the running count; the server validates
+// against the count implied by everything it has already accepted, not the
+// published snapshot, so pending batches compose correctly.
 const (
 	// OpAddAttr attaches Value to vertex U (no-op if already present).
 	OpAddAttr = "add_attr"
@@ -18,13 +21,21 @@ const (
 	OpAddEdge = "add_edge"
 	// OpDelEdge removes the undirected edge {U, V} (no-op if absent).
 	OpDelEdge = "del_edge"
+	// OpAddVertex appends one attributeless vertex with id = current |V|.
+	// It takes no operands; later mutations in the same batch may reference
+	// the new vertex.
+	OpAddVertex = "add_vertex"
+	// OpDelVertex removes vertex U, its attributes and its incident edges.
+	// Every vertex with a larger id shifts down by one, so later mutations
+	// in the same batch address the shifted ids.
+	OpDelVertex = "del_vertex"
 )
 
 // Mutation is one edit to the served graph, the unit of the mutation log
 // and of the POST /v1/mutations wire format.
 type Mutation struct {
 	Op string `json:"op"`
-	// U is the edited vertex (attribute ops) or one edge endpoint.
+	// U is the edited vertex (attribute and vertex ops) or one edge endpoint.
 	U graph.VertexID `json:"u"`
 	// V is the other edge endpoint (edge ops only).
 	V graph.VertexID `json:"v,omitempty"`
@@ -32,7 +43,9 @@ type Mutation struct {
 	Value string `json:"value,omitempty"`
 }
 
-// validate rejects malformed mutations against a graph of n vertices.
+// validate rejects malformed mutations against a graph that has n vertices
+// at the point this mutation applies (vertex ops change the count mid-batch;
+// validateBatch tracks it).
 func (m Mutation) validate(n int) error {
 	switch m.Op {
 	case OpAddAttr, OpDelAttr:
@@ -55,85 +68,92 @@ func (m Mutation) validate(n int) error {
 		if m.Value != "" {
 			return fmt.Errorf("%s takes no value (got %q)", m.Op, m.Value)
 		}
+	case OpAddVertex:
+		if m.U != 0 || m.V != 0 {
+			return fmt.Errorf("add_vertex takes no operands (got u=%d v=%d); the new vertex id is the current vertex count", m.U, m.V)
+		}
+		if m.Value != "" {
+			return fmt.Errorf("add_vertex takes no value (got %q); attach attributes with add_attr", m.Value)
+		}
+	case OpDelVertex:
+		if int(m.U) >= n {
+			return fmt.Errorf("vertex %d outside range [0,%d)", m.U, n)
+		}
+		if m.V != 0 {
+			return fmt.Errorf("del_vertex takes no second vertex (got v=%d)", m.V)
+		}
+		if m.Value != "" {
+			return fmt.Errorf("del_vertex takes no value (got %q)", m.Value)
+		}
 	default:
-		return fmt.Errorf("unknown op %q (want %s, %s, %s or %s)",
-			m.Op, OpAddAttr, OpDelAttr, OpAddEdge, OpDelEdge)
+		return fmt.Errorf("unknown op %q (want %s, %s, %s, %s, %s or %s)",
+			m.Op, OpAddAttr, OpDelAttr, OpAddEdge, OpDelEdge, OpAddVertex, OpDelVertex)
 	}
 	return nil
 }
 
-// Rebuild applies muts to g and freezes the result into a new immutable
-// graph. The caller must have validated every mutation against g.
-//
-// The new graph re-interns g's full vocabulary first, in g's id order, and
-// only then interns values first seen in muts (in mutation order). Keeping
-// the id assignment a stable prefix is what lets the shard cache replay
-// entries across rebuilds: cached line stats store interned ids, and the
-// name-canonical fingerprints only guarantee a hit when equal ids still
-// mean equal names. A value whose last occurrence is deleted keeps its id
-// for the same reason.
-func Rebuild(g *graph.Graph, muts []Mutation) *graph.Graph {
-	n := g.NumVertices()
-	b := graph.NewBuilder(n)
-	vocab := b.Vocab()
-	for _, name := range g.Vocab().Names() {
-		vocab.ID(name)
+// vertexDelta reports how m changes the vertex count when applied.
+func (m Mutation) vertexDelta() int {
+	switch m.Op {
+	case OpAddVertex:
+		return 1
+	case OpDelVertex:
+		return -1
 	}
-
-	attrs := make([]map[graph.AttrID]struct{}, n)
-	for v := 0; v < n; v++ {
-		if lst := g.Attrs(graph.VertexID(v)); len(lst) > 0 {
-			set := make(map[graph.AttrID]struct{}, len(lst))
-			for _, a := range lst {
-				set[a] = struct{}{}
-			}
-			attrs[v] = set
-		}
-	}
-	edges := make(map[[2]graph.VertexID]struct{}, g.NumEdges())
-	for v := 0; v < n; v++ {
-		for _, u := range g.Neighbors(graph.VertexID(v)) {
-			if graph.VertexID(v) < u {
-				edges[[2]graph.VertexID{graph.VertexID(v), u}] = struct{}{}
-			}
-		}
-	}
-
-	for _, m := range muts {
-		switch m.Op {
-		case OpAddAttr:
-			if attrs[m.U] == nil {
-				attrs[m.U] = make(map[graph.AttrID]struct{})
-			}
-			attrs[m.U][vocab.ID(m.Value)] = struct{}{}
-		case OpDelAttr:
-			// Lookup, not ID: deleting a never-seen value must not intern it.
-			if id, ok := vocab.Lookup(m.Value); ok && attrs[m.U] != nil {
-				delete(attrs[m.U], id)
-			}
-		case OpAddEdge:
-			edges[edgeKey(m.U, m.V)] = struct{}{}
-		case OpDelEdge:
-			delete(edges, edgeKey(m.U, m.V))
-		}
-	}
-
-	for v := 0; v < n; v++ {
-		for a := range attrs[v] {
-			// Ids and vertices were validated; Builder cannot fail here.
-			_ = b.AddAttrID(graph.VertexID(v), a)
-		}
-	}
-	for e := range edges {
-		_ = b.AddEdge(e[0], e[1])
-	}
-	return b.Build()
+	return 0
 }
 
-// edgeKey normalises an undirected edge to (min, max).
-func edgeKey(u, v graph.VertexID) [2]graph.VertexID {
-	if u > v {
-		u, v = v, u
+// validateBatch validates muts all-or-nothing against a graph of n vertices,
+// threading the running vertex count through the batch so a mutation may
+// reference a vertex added (or must not reference one removed) earlier in
+// the same batch. It returns the batch's net vertex delta.
+func validateBatch(muts []Mutation, n int) (delta int, err error) {
+	run := n
+	for i, m := range muts {
+		if err := m.validate(run); err != nil {
+			return 0, fmt.Errorf("mutation %d: %w", i, err)
+		}
+		run += m.vertexDelta()
 	}
-	return [2]graph.VertexID{u, v}
+	return run - n, nil
+}
+
+// edits translates wire mutations into graph edits one-to-one.
+func edits(muts []Mutation) []graph.Edit {
+	out := make([]graph.Edit, len(muts))
+	for i, m := range muts {
+		e := graph.Edit{U: m.U, V: m.V, Value: m.Value}
+		switch m.Op {
+		case OpAddAttr:
+			e.Op = graph.EditAddAttr
+		case OpDelAttr:
+			e.Op = graph.EditDelAttr
+		case OpAddEdge:
+			e.Op = graph.EditAddEdge
+		case OpDelEdge:
+			e.Op = graph.EditDelEdge
+		case OpAddVertex:
+			e.Op = graph.EditAddVertex
+		case OpDelVertex:
+			e.Op = graph.EditDelVertex
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Rebuild applies muts to g and freezes the result into a new immutable
+// graph. The caller must have validated the batch against g (validateBatch);
+// Rebuild panics on an inapplicable mutation.
+//
+// The heavy lifting — sequential application, vertex-count changes with
+// monotone id shifts, and interning-order preservation (the old vocabulary
+// stays a stable id prefix so cached shard results replay across rebuilds) —
+// lives in graph.Rebuild; see its contract.
+func Rebuild(g *graph.Graph, muts []Mutation) *graph.Graph {
+	g2, err := graph.Rebuild(g, edits(muts))
+	if err != nil {
+		panic(fmt.Sprintf("serve: rebuild of validated batch failed: %v", err))
+	}
+	return g2
 }

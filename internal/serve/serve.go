@@ -3,7 +3,7 @@
 // Server owns a live attributed graph plus its mined model and answers
 // every read from an immutable snapshot published by atomic pointer swap,
 // so query latency never blocks on mining. Writes arrive as batched
-// mutations (vertex-attribute and edge edits) appended to a mutation log; a
+// mutations (vertex add/remove, attribute and edge edits) appended to a mutation log; a
 // background re-mine loop coalesces pending batches, rebuilds the graph,
 // re-mines it through the incremental cached miner (only component groups
 // whose fingerprint changed are re-mined) or the distributed miner when a
@@ -187,6 +187,10 @@ type Snapshot struct {
 	MultiLeaf []icspm.AStar
 	// PublishedAt is when the snapshot was swapped in.
 	PublishedAt time.Time
+	// ModelSHA256 is the name-canonical model commitment (the same digest
+	// checkpoint manifests record), computed once at publish so /v1/watch
+	// can hand clients a generation plus the model bytes it stands for.
+	ModelSHA256 string
 }
 
 // newSnapshot assembles one immutable serving state.
@@ -196,6 +200,7 @@ func newSnapshot(gen uint64, g *graph.Graph, model *icspm.Model) *Snapshot {
 		Scorer:      completion.NewScorer(model, g),
 		MultiLeaf:   model.MultiLeaf(),
 		PublishedAt: time.Now(),
+		ModelSHA256: modelChecksum(model),
 	}
 }
 
@@ -210,6 +215,7 @@ type Server struct {
 
 	wl           *wal.Log      // nil unless Options.WALDir enabled durability
 	subMu        sync.Mutex    // serialises submits so WAL order = log order
+	subVerts     int           // vertex count after every accepted batch; guarded by subMu
 	rec          RecoveryStats // what NewServer recovered; fixed at startup
 	ckptModelSum string        // verified checkpoint's model commitment
 
@@ -229,6 +235,8 @@ type Server struct {
 	wake      chan struct{}
 	quit      chan struct{}
 	done      chan struct{}
+	draining  chan struct{} // closed by Drain; unblocks /v1/watch long-polls
+	drainOnce sync.Once
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -245,12 +253,13 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:   opts,
-		cache:  opts.Cache,
-		notify: make(chan struct{}),
-		wake:   make(chan struct{}, 1),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		opts:     opts,
+		cache:    opts.Cache,
+		notify:   make(chan struct{}),
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		draining: make(chan struct{}),
 	}
 	if s.cache == nil {
 		s.cache = shardcache.New(0)
@@ -259,6 +268,7 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.subVerts = base.NumVertices()
 	model, err := s.mine(base)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial mine: %w", err)
@@ -297,11 +307,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// SubmitMutations validates muts against the current snapshot's graph and
-// appends them to the mutation log, triggering a background re-mine. The
-// batch is all-or-nothing: the first invalid mutation rejects the whole
-// slice and nothing is enqueued. Vertex-range validation is stable across
-// pending batches because mutations never change the vertex count.
+// SubmitMutations validates muts and appends them to the mutation log,
+// triggering a background re-mine. The batch is all-or-nothing: the first
+// invalid mutation rejects the whole slice and nothing is enqueued. Vertex
+// ops change |V|, so validation runs against the count implied by every
+// previously accepted batch (not the published snapshot, which may lag) and
+// threads the running count through the batch — a mutation may reference a
+// vertex added earlier in its own batch.
 //
 // With a WAL configured, a nil return means the batch is DURABLE: it was
 // fsync'd into the log before being enqueued, and recovery replays it if
@@ -311,18 +323,17 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 	if len(muts) == 0 {
 		return fmt.Errorf("serve: empty mutation batch")
 	}
-	n := s.snap.Load().Graph.NumVertices()
-	for i, m := range muts {
-		if err := m.validate(n); err != nil {
-			s.met.mutationsRejected.Add(uint64(len(muts)))
-			return fmt.Errorf("serve: mutation %d: %w", i, err)
-		}
-	}
-	// subMu serialises the append with the enqueue so WAL order is exactly
+	// subMu serialises validate+append+enqueue so WAL order is exactly
 	// mutation-log order — recovery replay then rebuilds the same graph a
-	// crash-free run would have.
+	// crash-free run would have — and so the vertex count each batch is
+	// validated against is the one it will actually apply to.
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
+	delta, err := validateBatch(muts, s.subVerts)
+	if err != nil {
+		s.met.mutationsRejected.Add(uint64(len(muts)))
+		return fmt.Errorf("serve: %w", err)
+	}
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -351,6 +362,7 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 		s.batchSeq = seq
 	}
 	s.mu.Unlock()
+	s.subVerts += delta
 	s.met.mutationsAccepted.Add(uint64(len(muts)))
 	s.trigger()
 	return nil
@@ -435,9 +447,22 @@ func (s *Server) AwaitGeneration(ctx context.Context, gen uint64) error {
 // without a cold re-mine. With a WAL, folded segments are compacted and the
 // log is closed last. Close is idempotent and does not drain HTTP requests
 // — the owning http.Server's Shutdown does that first, which is exactly
-// what lets mutations accepted mid-drain reach the final re-mine.
+// what lets mutations accepted mid-drain reach the final re-mine. The one
+// exception is /v1/watch long-polls: Close (like Drain) releases them
+// immediately, so a shutdown never waits out a 30s poll.
+// Drain unblocks every /v1/watch long-poll immediately (each responds with
+// the currently served generation). It is idempotent and safe to call at
+// any time; wire it into http.Server.RegisterOnShutdown so watchers release
+// at the START of a graceful drain instead of holding Shutdown open until
+// their timeouts lapse. Close drains too, so embedders without an HTTP host
+// need not call it.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.Drain()
 		s.mu.Lock()
 		s.closed = true
 		s.mu.Unlock()
@@ -529,8 +554,7 @@ func (s *Server) remine() bool {
 	}
 	cur := s.snap.Load()
 	start := time.Now()
-	next := Rebuild(cur.Graph, batch)
-	model, err := s.mine(next)
+	next, model, err := s.rebuildAndMine(cur.Graph, batch)
 	if err != nil {
 		s.met.remineFailures.Add(1)
 		s.mu.Lock()
@@ -574,6 +598,21 @@ func (s *Server) remine() bool {
 func (s *Server) broadcastLocked() {
 	close(s.notify)
 	s.notify = make(chan struct{})
+}
+
+// rebuildAndMine applies batch and mines the result under one recover, so a
+// poisoned batch — whether it breaks the rebuild or the search — degrades to
+// staleness (the batch re-queues, the last good snapshot keeps serving)
+// instead of killing the re-mine loop.
+func (s *Server) rebuildAndMine(g *graph.Graph, batch []Mutation) (next *graph.Graph, model *icspm.Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			next, model, err = nil, nil, fmt.Errorf("serve: rebuild panicked: %v", r)
+		}
+	}()
+	next = Rebuild(g, batch)
+	model, err = s.mine(next)
+	return next, model, err
 }
 
 // mine runs one search over g through the configured path, converting

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Record payload versioning. The segment frame ([len][crc][seq][payload])
+// never changes — old segments stay readable forever — so format evolution
+// happens inside the payload: a versioned payload is
+//
+//	0x00 'W' 'A' 'L' <uvarint version> <body>
+//
+// and anything else decodes as version 1 with the payload as its body. The
+// scheme relies on version-1 writers never having produced a payload whose
+// first byte is 0x00 — true for this repo's only payload type (gob streams
+// open with a non-zero message length) and a condition EncodePayload callers
+// must preserve when introducing new payload kinds.
+
+// payloadMagic marks a versioned payload. The leading 0x00 is what makes it
+// unambiguous against legacy payloads.
+var payloadMagic = []byte{0x00, 'W', 'A', 'L'}
+
+// EncodePayload frames body as a version-v record payload. v must be >= 2:
+// version 1 is the bare legacy form and is never written with a frame.
+func EncodePayload(v uint64, body []byte) []byte {
+	if v < 2 {
+		panic(fmt.Sprintf("wal: EncodePayload version %d (versions < 2 are the bare legacy form)", v))
+	}
+	out := make([]byte, 0, len(payloadMagic)+binary.MaxVarintLen64+len(body))
+	out = append(out, payloadMagic...)
+	out = binary.AppendUvarint(out, v)
+	return append(out, body...)
+}
+
+// DecodePayload splits a record payload into its format version and body.
+// Payloads without the version magic are version 1, returned as-is; a
+// payload that starts the magic but breaks off is corrupt, not legacy.
+func DecodePayload(payload []byte) (v uint64, body []byte, err error) {
+	if len(payload) == 0 || payload[0] != 0x00 {
+		return 1, payload, nil
+	}
+	if !bytes.HasPrefix(payload, payloadMagic) {
+		return 0, nil, fmt.Errorf("wal: payload starts 0x00 but is not a versioned record")
+	}
+	rest := payload[len(payloadMagic):]
+	v, n := binary.Uvarint(rest)
+	if n <= 0 || v < 2 {
+		return 0, nil, fmt.Errorf("wal: versioned payload has a malformed version field")
+	}
+	return v, rest[n:], nil
+}

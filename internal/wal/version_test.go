@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPayloadVersioningRoundtrip(t *testing.T) {
+	body := []byte("batch-bytes")
+	for _, v := range []uint64{2, 3, 1 << 40} {
+		enc := EncodePayload(v, body)
+		gv, gb, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		if gv != v || !bytes.Equal(gb, body) {
+			t.Fatalf("v%d decoded to (v%d, %q)", v, gv, gb)
+		}
+	}
+}
+
+func TestPayloadVersioningLegacy(t *testing.T) {
+	// Anything not starting 0x00 — including empty — is version 1, unchanged.
+	for _, p := range [][]byte{nil, {}, []byte("gob..."), {0x2a, 0x00, 0x57}} {
+		v, body, err := DecodePayload(p)
+		if err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		if v != 1 || !bytes.Equal(body, p) {
+			t.Fatalf("%q decoded to (v%d, %q)", p, v, body)
+		}
+	}
+}
+
+func TestPayloadVersioningCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0x00},                      // bare magic byte
+		{0x00, 'W', 'A'},            // truncated magic
+		{0x00, 'W', 'A', 'L'},       // magic without version
+		{0x00, 'W', 'A', 'X', 0x02}, // wrong magic
+		append([]byte{0x00, 'W', 'A', 'L'}, 0x01),                              // version 1 framed
+		append([]byte{0x00, 'W', 'A', 'L'}, bytes.Repeat([]byte{0xff}, 11)...), // overlong uvarint
+	}
+	for _, p := range cases {
+		if _, _, err := DecodePayload(p); err == nil {
+			t.Errorf("DecodePayload(%x) accepted corrupt input", p)
+		}
+	}
+}
+
+func TestEncodePayloadRejectsLegacyVersions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodePayload(1, ...) did not panic")
+		}
+	}()
+	EncodePayload(1, []byte("x"))
+}
