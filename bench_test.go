@@ -11,12 +11,9 @@ package cspm_test
 
 import (
 	"context"
-	"io"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -29,6 +26,8 @@ import (
 	"cspm/internal/gnn"
 	"cspm/internal/intset"
 	"cspm/internal/invdb"
+	"cspm/internal/serve"
+	"cspm/internal/serveclient"
 	"cspm/internal/slim"
 )
 
@@ -492,47 +491,52 @@ func BenchmarkMicro_IntersectCountAndDiffCount(b *testing.B) {
 
 // --- Online serving (DESIGN.md "Online serving", BENCH_5.json) ------------
 
-// startServeBench hosts an Islands graph behind the /v1 API over real HTTP.
-func startServeBench(b *testing.B) (*cspm.Server, string) {
+// startServeBench hosts an Islands graph as a multi-tenant host's default
+// namespace behind real HTTP, queried through the typed client — the same
+// stack a production caller uses.
+func startServeBench(b *testing.B) (*cspm.Server, *serveclient.NamespaceClient) {
 	b.Helper()
 	cfg := dataset.DefaultIslands()
 	cfg.Seed = 7
 	g := dataset.Islands(cfg)
-	srv, err := cspm.NewServer(g, cspm.ServerOptions{})
+	host, err := cspm.NewServeHost(cspm.ServeHostOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	hs := httptest.NewServer(srv)
+	srv, err := host.Create(cspm.DefaultServeNamespace, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(host)
 	b.Cleanup(func() {
 		hs.Close()
-		srv.Close()
+		host.Close()
 	})
-	return srv, hs.URL
+	client, err := serveclient.New(hs.URL, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, client.Namespace(cspm.DefaultServeNamespace)
 }
 
 // serveCompleteOnce issues one completion query and fails the benchmark on
-// any non-200 — the zero-failed-requests serving contract is part of what
+// any error — the zero-failed-requests serving contract is part of what
 // is being measured.
-func serveCompleteOnce(b *testing.B, url string) {
-	resp, err := http.Post(url+"/v1/complete", "application/json",
-		strings.NewReader(`{"vertices":[1,17,33],"top_k":5}`))
-	if err != nil {
-		b.Fatal(err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		b.Fatalf("complete: status %d", resp.StatusCode)
+func serveCompleteOnce(b *testing.B, nc *serveclient.NamespaceClient) {
+	if _, err := nc.Complete(context.Background(), serve.CompleteRequest{
+		Vertices: []cspm.VertexID{1, 17, 33}, TopK: 5,
+	}); err != nil {
+		b.Fatalf("complete: %v", err)
 	}
 }
 
 // BenchmarkServe_Complete is the steady-state query baseline: completion
 // scoring over HTTP against an idle snapshot.
 func BenchmarkServe_Complete(b *testing.B) {
-	_, url := startServeBench(b)
+	_, nc := startServeBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		serveCompleteOnce(b, url)
+		serveCompleteOnce(b, nc)
 	}
 }
 
@@ -543,7 +547,7 @@ func BenchmarkServe_Complete(b *testing.B) {
 // the run absorbed; ns/op staying close to the idle baseline is the
 // lock-free snapshot-swap claim.
 func BenchmarkServe_CompleteDuringRemine(b *testing.B) {
-	srv, url := startServeBench(b)
+	srv, nc := startServeBench(b)
 	before := srv.Metrics()
 	var queries atomic.Int64
 	stop := make(chan struct{})
@@ -577,7 +581,7 @@ func BenchmarkServe_CompleteDuringRemine(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		serveCompleteOnce(b, url)
+		serveCompleteOnce(b, nc)
 		queries.Add(1)
 	}
 	b.StopTimer()

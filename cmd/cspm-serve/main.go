@@ -1,33 +1,43 @@
-// Command cspm-serve hosts a mined CSPM model behind a long-running
-// HTTP/JSON API: reads are answered lock-free from an atomically swapped
-// immutable snapshot, writes arrive as batched mutations, and a background
-// loop incrementally re-mines the mutated graph (only dirty component
-// groups, optionally fanned out to cspm-worker fleets) and publishes the
-// next snapshot — so query latency never blocks on mining and a failed
-// re-mine degrades to staleness, never to unavailability.
+// Command cspm-serve hosts mined CSPM models behind a long-running
+// multi-tenant HTTP/JSON API: reads are answered lock-free from atomically
+// swapped immutable snapshots, writes arrive as batched mutations, and per-
+// namespace background loops incrementally re-mine mutated graphs (only
+// dirty component groups, optionally fanned out to cspm-worker fleets,
+// bounded by a shared -mine-budget) and publish the next snapshot — so
+// query latency never blocks on mining and a failed re-mine degrades to
+// staleness, never to unavailability.
 //
-// Endpoints: GET /v1/patterns, POST /v1/complete, GET /v1/model,
-// GET /v1/healthz, GET /v1/metrics, POST /v1/mutations, and
-// GET /v1/watch — a long-poll that resolves with {generation, model_sha256}
+// Per-namespace endpoints (under /v2/graphs/{ns}): GET patterns,
+// POST complete, GET model, GET healthz, GET metrics, POST mutations, and
+// GET watch — a long-poll that resolves with {generation, model_sha256}
 // once a generation >= the client's is published (bounded wait; drains
 // instantly on shutdown). Mutation batches may grow and shrink the vertex
 // set (add_vertex/del_vertex) as well as edit attributes and edges.
+// Admin endpoints: GET /v2/graphs lists namespaces, POST /v2/graphs/{ns}
+// creates one from an uploaded graph (empty body = empty graph),
+// DELETE /v2/graphs/{ns} quarantines it (acknowledged WAL data is renamed
+// aside, never unlinked). The flat /v1/* surface still serves the "default"
+// namespace unchanged, marked with a Deprecation header.
 //
 // Usage:
 //
 //	cspm-serve [-listen :7480] [-shards K] [-cache-dir DIR] [-wal-dir DIR]
+//	           [-root-dir DIR] [-max-namespaces N] [-mine-budget N]
 //	           [-standby] [-debounce D] [-remote host:port,...]
 //	           [-remote-timeout D] [-remote-retries N] [-remote-no-fallback]
 //	           graph.txt
 //
-// With "-" as the file name, the initial graph is read from stdin; with
-// -standby and a checkpoint under -cache-dir the file may be omitted
-// entirely. -wal-dir turns mutation acknowledgments durable: batches are
-// fsync'd to a write-ahead log before the 202, and a restarted (or standby)
-// server replays unfolded batches over the checkpoint instead of cold
-// re-mining. On SIGINT/SIGTERM the server drains in-flight requests
-// (force-closing them at -drain-timeout), checkpoints (when -cache-dir is
-// set) and exits; a second SIGINT exits immediately.
+// The graph file seeds the "default" namespace; with "-" it is read from
+// stdin, and it may be omitted with -standby (promote purely from durable
+// state) or with -root-dir (start empty or from recovered namespaces and
+// populate over /v2). -wal-dir turns the default namespace's mutation
+// acknowledgments durable: batches are fsync'd to a write-ahead log before
+// the 202, and a restarted (or standby) server replays unfolded batches
+// over the checkpoint instead of cold re-mining. -root-dir generalises both
+// -cache-dir and -wal-dir to one subtree per namespace and restores every
+// namespace found under it at startup. On SIGINT/SIGTERM the server drains
+// in-flight requests (force-closing them at -drain-timeout), checkpoints
+// every tenant and exits; a second SIGINT exits immediately.
 package main
 
 import (
@@ -53,7 +63,10 @@ func main() {
 	flag.IntVar(&cfg.RemoteRetries, "remote-retries", 0, "re-submissions per shard job before local fallback")
 	flag.BoolVar(&cfg.RemoteNoFallback, "remote-no-fallback", false, "fail a re-mine instead of mining failed shard jobs locally")
 	flag.StringVar(&cfg.WALDir, "wal-dir", "", "write-ahead-log directory: fsync mutation batches before acknowledging, replay them on restart")
-	flag.BoolVar(&cfg.Standby, "standby", false, "refuse to cold-start: promote from the -cache-dir checkpoint / -wal-dir log or fail")
+	flag.StringVar(&cfg.RootDir, "root-dir", "", "multi-tenant persistence root: one WAL+checkpoint subtree per namespace (excludes -cache-dir/-wal-dir)")
+	flag.IntVar(&cfg.MaxNamespaces, "max-namespaces", 0, "cap on concurrently hosted namespaces (0 = unlimited)")
+	flag.IntVar(&cfg.MineBudget, "mine-budget", 0, "max namespaces mining or re-mining at once across the host (0 = unlimited)")
+	flag.BoolVar(&cfg.Standby, "standby", false, "refuse to cold-start: promote from durable state (-root-dir, or -cache-dir/-wal-dir) or fail")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown before force-closing them")
 	flag.Parse()
 	var in io.Reader
@@ -70,10 +83,11 @@ func main() {
 			defer f.Close()
 			in = f
 		}
-	case flag.NArg() == 0 && cfg.Standby:
-		// Promote purely from durable state: the checkpoint is the graph.
+	case flag.NArg() == 0 && (cfg.Standby || cfg.RootDir != ""):
+		// Promote purely from durable state, or start a (possibly empty)
+		// multi-tenant host populated over the /v2 admin surface.
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cspm-serve [flags] graph.txt (or - for stdin; omit with -standby)")
+		fmt.Fprintln(os.Stderr, "usage: cspm-serve [flags] graph.txt (or - for stdin; omit with -standby or -root-dir)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -82,7 +96,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cspm-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "cspm-serve: serving /v1 on %s\n", addr)
+	fmt.Fprintf(os.Stderr, "cspm-serve: serving /v2/graphs (and the /v1 alias) on %s\n", addr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if err := cli.AwaitShutdown(sig, *drain, shutdown, os.Exit, os.Stderr); err != nil {

@@ -247,6 +247,38 @@ func NewServer(g *Graph, opts ServerOptions) (*Server, error) {
 	return serve.NewServer(g, opts)
 }
 
+// Multi-tenant serving: one process hosting many named graphs behind the
+// /v2/graphs/{ns} API, each an isolated Server with its own WAL and
+// checkpoint subtree under a shared root, re-mines drawn from one bounded
+// worker budget.
+type (
+	// ServeHost is the multi-tenant fleet member: a namespace registry plus
+	// the HTTP surface (/v2/graphs admin verbs, /v2/graphs/{ns}/... per
+	// tenant, and the deprecated flat /v1 alias of the "default"
+	// namespace). It is an http.Handler.
+	ServeHost = serve.Host
+	// ServeHostOptions configures a ServeHost: the persist root every
+	// namespace lives under, the tenant cap, the shared re-mine budget, and
+	// the per-tenant Options template.
+	ServeHostOptions = serve.HostOptions
+	// ServeNamespaceInfo is one tenant's directory entry on the admin
+	// surface.
+	ServeNamespaceInfo = serve.NamespaceInfo
+)
+
+// DefaultServeNamespace is the namespace the deprecated flat /v1 surface
+// aliases to.
+const DefaultServeNamespace = serve.DefaultNamespace
+
+// NewServeHost validates opts and, when RootDir is set, restores every
+// namespace found under it (standby-style promotion from each tenant's
+// checkpoint + WAL). Namespace trees with no durable state are quarantined,
+// never served; any other recovery failure is fatal. Close the host to stop
+// every tenant.
+func NewServeHost(opts ServeHostOptions) (*ServeHost, error) {
+	return serve.NewHost(opts)
+}
+
 // MineMultiCore runs the §IV-F general mode: multi-value coresets are first
 // selected by SLIM on the vertex-attribute transaction database, then
 // a-stars are mined over them. Still parameter-free.

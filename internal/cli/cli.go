@@ -324,7 +324,7 @@ func StartWorker(cfg WorkerConfig) (addr string, stop func(), err error) {
 
 // ServeConfig mirrors cmd/cspm-serve's flags.
 type ServeConfig struct {
-	// Listen is the host:port to serve the /v1 HTTP API on (":0" picks a
+	// Listen is the host:port to serve the HTTP API on (":0" picks a
 	// free port; the bound address is returned by StartServe).
 	Listen string
 	// Shards bounds how many dirty component groups re-mine concurrently
@@ -332,35 +332,55 @@ type ServeConfig struct {
 	Shards int
 	// CacheDir persists shard results under this directory: re-mines warm
 	// from it at startup and the cache is flushed back on shutdown. ""
-	// keeps the cache in memory only.
+	// keeps the cache in memory only. Configures the single default
+	// namespace; mutually exclusive with RootDir.
 	CacheDir string
 	// Debounce is the re-mine coalescing window (0 = re-mine immediately).
 	Debounce time.Duration
 	// Remote and its knobs mirror cspm -remote*: fan dirty groups out to
-	// cspm-worker fleets instead of mining in-process.
+	// cspm-worker fleets instead of mining in-process. The transport is
+	// shared by every namespace.
 	Remote           string
 	RemoteTimeout    time.Duration
 	RemoteRetries    int
 	RemoteNoFallback bool
-	// WALDir enables the durability contract: mutation batches are fsync'd
-	// into a write-ahead log under this directory before acknowledgment and
-	// replayed on restart. "" serves without durable acknowledgment.
+	// WALDir enables the durability contract for the single default
+	// namespace: mutation batches are fsync'd into a write-ahead log under
+	// this directory before acknowledgment and replayed on restart. ""
+	// serves without durable acknowledgment. Mutually exclusive with
+	// RootDir (which gives every namespace its own WAL subtree).
 	WALDir string
-	// Standby refuses to cold-start: the server must find durable state (a
-	// checkpoint under CacheDir or batches under WALDir) to promote. With a
-	// checkpoint present the initial graph may be omitted entirely.
+	// Standby refuses to cold-start. Without RootDir the default namespace
+	// must find durable state (a checkpoint under CacheDir or batches under
+	// WALDir) to promote; with RootDir the host must restore at least one
+	// namespace from the root. Either way the initial graph may be omitted.
 	Standby bool
+	// RootDir turns the process into a multi-tenant fleet member: every
+	// namespace owns a WAL + checkpoint subtree under this root, the
+	// /v2/graphs admin surface can create and delete namespaces at runtime,
+	// and startup restores every namespace found under the root. Mutually
+	// exclusive with CacheDir and WALDir.
+	RootDir string
+	// MaxNamespaces caps live namespaces (0 = unlimited).
+	MaxNamespaces int
+	// MineBudget bounds how many namespaces may run a mining pass
+	// concurrently (0 = unbounded), so one tenant's mutation storm queues
+	// behind the budget instead of starving the rest.
+	MineBudget int
 }
 
 // StartServe validates cfg, reads the initial graph from r (nil skips the
-// read: a -standby server promotes from its checkpoint instead), mines or
-// recovers it, binds the listener and serves the /v1 API in a background
-// goroutine. It returns the bound address and a shutdown function that
-// drains in-flight requests (bounded by ctx, force-closing leftovers when
-// it expires), stops the re-mine loop, checkpoints to CacheDir when set,
-// and closes any worker transport. All flag validation happens before the
-// (possibly huge) graph read, mirroring Mine's validate-before-load
-// contract.
+// read: a -standby process promotes from durable state instead), builds the
+// multi-tenant host, binds the listener and serves the API in a background
+// goroutine. The graph (when given) seeds the "default" namespace — the one
+// the flat /v1 surface aliases; with RootDir set, startup also restores
+// every namespace found under the root, and the /v2/graphs admin surface
+// can add and remove namespaces at runtime. It returns the bound address
+// and a shutdown function that drains in-flight requests (bounded by ctx,
+// force-closing leftovers when it expires), stops every tenant's re-mine
+// loop, checkpoints, and closes any worker transport. All flag validation
+// happens before the (possibly huge) graph read, mirroring Mine's
+// validate-before-load contract.
 func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(context.Context) error, err error) {
 	if cfg.Listen == "" {
 		return "", nil, fmt.Errorf("-listen must name a host:port to serve on")
@@ -371,6 +391,16 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 	if cfg.Debounce < 0 {
 		return "", nil, fmt.Errorf("-debounce must be >= 0, got %v", cfg.Debounce)
 	}
+	if cfg.RootDir != "" && (cfg.CacheDir != "" || cfg.WALDir != "") {
+		return "", nil, fmt.Errorf("-root-dir gives every namespace its own cache and WAL subtree; it is mutually exclusive with -cache-dir and -wal-dir")
+	}
+	if cfg.RootDir != "" {
+		// Probe the root before the graph read: an unusable persistence
+		// root must fail as fast as a typo'd flag.
+		if err := os.MkdirAll(cfg.RootDir, 0o755); err != nil {
+			return "", nil, fmt.Errorf("-root-dir: %v", err)
+		}
+	}
 	var workerAddrs []string
 	if cfg.Remote != "" {
 		if workerAddrs, err = parseRemoteAddrs(cfg.Remote); err != nil {
@@ -379,26 +409,46 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 	} else if cfg.RemoteTimeout != 0 || cfg.RemoteRetries != 0 || cfg.RemoteNoFallback {
 		return "", nil, fmt.Errorf("-remote-timeout, -remote-retries and -remote-no-fallback require -remote")
 	}
-	opts := serve.Options{
+	// The tenant template carries everything shared across namespaces;
+	// per-tenant state (cache, WAL and checkpoint dirs) is derived by the
+	// host under RootDir, or passed explicitly for the legacy single-tenant
+	// flags below.
+	tenant := serve.Options{
 		Mining:        cspm.Options{Shards: cfg.Shards, CollectStats: true},
-		PersistDir:    cfg.CacheDir,
 		Debounce:      cfg.Debounce,
 		RemoteTimeout: cfg.RemoteTimeout, RemoteRetries: cfg.RemoteRetries,
 		RemoteNoFallback: cfg.RemoteNoFallback,
-		WALDir:           cfg.WALDir,
-		Standby:          cfg.Standby,
 	}
-	if err := opts.Validate(); err != nil {
+	hostOpts := serve.HostOptions{
+		RootDir:       cfg.RootDir,
+		MaxNamespaces: cfg.MaxNamespaces,
+		MineBudget:    cfg.MineBudget,
+		Tenant:        tenant,
+		Standby:       cfg.Standby && cfg.RootDir != "",
+	}
+	if err := hostOpts.Validate(); err != nil {
 		return "", nil, err
 	}
-	if cfg.CacheDir != "" {
-		// Disk-backed: re-mines warm-start from blobs persisted by earlier
-		// runs, and writes reach disk eagerly (the shutdown flush is then a
-		// cheap idempotent rewrite that also covers entries admitted from
-		// disk after an eviction).
-		if opts.Cache, err = shardcache.Open(0, cfg.CacheDir); err != nil {
+	// Legacy single-tenant flags become the default namespace's override.
+	var defOverride *serve.Options
+	if cfg.CacheDir != "" || cfg.WALDir != "" || (cfg.Standby && cfg.RootDir == "") {
+		o := tenant
+		o.PersistDir = cfg.CacheDir
+		o.WALDir = cfg.WALDir
+		o.Standby = cfg.Standby
+		if cfg.CacheDir != "" {
+			// Disk-backed: re-mines warm-start from blobs persisted by
+			// earlier runs, and writes reach disk eagerly (the shutdown flush
+			// is then a cheap idempotent rewrite that also covers entries
+			// admitted from disk after an eviction).
+			if o.Cache, err = shardcache.Open(0, cfg.CacheDir); err != nil {
+				return "", nil, err
+			}
+		}
+		if err := o.Validate(); err != nil {
 			return "", nil, err
 		}
+		defOverride = &o
 	}
 	var transport shardrpc.Transport
 	if cfg.Remote != "" {
@@ -407,7 +457,10 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		if transport, err = shardrpc.Dial(workerAddrs); err != nil {
 			return "", nil, err
 		}
-		opts.Transport = transport
+		hostOpts.Tenant.Transport = transport
+		if defOverride != nil {
+			defOverride.Transport = transport
+		}
 	}
 	closeTransport := func() {
 		if transport != nil {
@@ -430,30 +483,48 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 			return "", nil, err
 		}
 	}
-	sv, err := serve.NewServer(g, opts)
+	host, err := serve.NewHost(hostOpts)
 	if err != nil {
 		l.Close()
 		closeTransport()
 		return "", nil, err
 	}
-	hs := &http.Server{Handler: sv}
-	// Release /v1/watch long-polls the moment a graceful drain starts:
-	// Shutdown waits for in-flight responses, and a watcher mid-poll would
-	// otherwise hold the drain open until its timeout lapsed.
-	hs.RegisterOnShutdown(sv.Drain)
+	// Seed the default namespace: from the given graph, from legacy durable
+	// state (standby/WAL replay), or not at all (a root-dir host may have
+	// recovered it already, or namespaces arrive purely via the admin API).
+	if _, recovered := host.Tenant(serve.DefaultNamespace); !recovered {
+		if g != nil || defOverride != nil {
+			if _, err := host.Create(serve.DefaultNamespace, g, defOverride); err != nil {
+				host.Close()
+				l.Close()
+				closeTransport()
+				return "", nil, err
+			}
+		}
+	} else if g != nil {
+		host.Close()
+		l.Close()
+		closeTransport()
+		return "", nil, fmt.Errorf("the %q namespace was restored from -root-dir; omit the graph argument (its acknowledged state wins) or create a new namespace over /v2", serve.DefaultNamespace)
+	}
+	hs := &http.Server{Handler: host}
+	// Release watch long-polls the moment a graceful drain starts: Shutdown
+	// waits for in-flight responses, and a watcher mid-poll would otherwise
+	// hold the drain open until its timeout lapsed.
+	hs.RegisterOnShutdown(host.Drain)
 	go hs.Serve(l)
 	shutdown = func(ctx context.Context) error {
 		// Drain first (Shutdown waits for in-flight responses to complete),
-		// then stop mining and flush the cache, then drop the workers. The
-		// drain deadline is hard: when ctx expires before the drain ends,
-		// remaining connections are force-closed so shutdown always
-		// completes — a stuck client must not be able to hold the
-		// checkpoint (and the process) hostage.
+		// then stop mining and flush every tenant's cache, then drop the
+		// workers. The drain deadline is hard: when ctx expires before the
+		// drain ends, remaining connections are force-closed so shutdown
+		// always completes — a stuck client must not be able to hold the
+		// checkpoints (and the process) hostage.
 		drainErr := hs.Shutdown(ctx)
 		if drainErr != nil {
 			hs.Close()
 		}
-		closeErr := sv.Close()
+		closeErr := host.Close()
 		closeTransport()
 		if drainErr != nil {
 			return drainErr

@@ -491,3 +491,126 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal("shutdown left no shard blobs in -cache-dir")
 	}
 }
+
+// TestServeMultiTenantRootDir drives the fleet mode end to end: seed the
+// default namespace from a graph under -root-dir, create a second tenant
+// over the /v2 admin surface, mutate it, then restart in standby and
+// require both namespaces back at their exact generations.
+func TestServeMultiTenantRootDir(t *testing.T) {
+	// RootDir is mutually exclusive with the legacy single-tenant dirs, and
+	// a graph argument must not fight a recovered default namespace.
+	for _, cfg := range []ServeConfig{
+		{Listen: "127.0.0.1:0", RootDir: "/tmp/x", CacheDir: "/tmp/y"},
+		{Listen: "127.0.0.1:0", RootDir: "/tmp/x", WALDir: "/tmp/y"},
+		{Listen: "127.0.0.1:0", RootDir: "/dev/null/not-a-dir"},
+	} {
+		if addr, shutdown, err := StartServe(failingReader{t}, cfg); err == nil {
+			shutdown(context.Background())
+			t.Fatalf("invalid config %+v accepted (bound %s)", cfg, addr)
+		}
+	}
+
+	root := t.TempDir()
+	addr, shutdown, err := StartServe(strings.NewReader(twoIslandText), ServeConfig{
+		Listen:  "127.0.0.1:0",
+		RootDir: root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	// The graph argument seeded "default"; /v1 aliases it with the
+	// deprecation marker while /v2 serves it under its name.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") == "" {
+		t.Fatalf("/v1/healthz: code=%d deprecation=%q", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+
+	// Create a second tenant over the admin surface and mutate only it.
+	resp, err = http.Post(base+"/v2/graphs/beta", "text/plain", strings.NewReader(fig1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create beta: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v2/graphs/beta/mutations", "application/json",
+		strings.NewReader(`{"mutations":[{"op":"add_edge","u":1,"v":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mutate beta: status %d", resp.StatusCode)
+	}
+	var watch struct {
+		Generation uint64 `json:"generation"`
+		SHA        string `json:"model_sha256"`
+	}
+	if code := serveGet(t, base+"/v2/graphs/beta/watch?generation=2&timeout=30s", &watch); code != http.StatusOK || watch.Generation < 2 {
+		t.Fatalf("beta watch: code=%d gen=%d", code, watch.Generation)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = shutdown(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Standby restart from the root subtree alone: no graph argument, both
+	// tenants restored at their published generations.
+	addr, shutdown, err = StartServe(nil, ServeConfig{
+		Listen:  "127.0.0.1:0",
+		RootDir: root,
+		Standby: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdown(ctx)
+	}()
+	base = "http://" + addr
+	var list struct {
+		Namespaces []struct {
+			Name       string `json:"name"`
+			Generation uint64 `json:"generation"`
+			SHA        string `json:"model_sha256"`
+		} `json:"namespaces"`
+	}
+	if code := serveGet(t, base+"/v2/graphs", &list); code != http.StatusOK || len(list.Namespaces) != 2 {
+		t.Fatalf("recovered list: code=%d namespaces=%+v", code, list.Namespaces)
+	}
+	for _, ns := range list.Namespaces {
+		switch ns.Name {
+		case "beta":
+			if ns.Generation != watch.Generation || ns.SHA != watch.SHA {
+				t.Fatalf("beta restored at gen %d sha %s, want gen %d sha %s",
+					ns.Generation, ns.SHA, watch.Generation, watch.SHA)
+			}
+		case "default":
+			if ns.Generation != 1 {
+				t.Fatalf("default restored at gen %d, want 1", ns.Generation)
+			}
+		default:
+			t.Fatalf("unexpected namespace %q restored", ns.Name)
+		}
+	}
+	// A graph argument alongside a recovered default must be refused: the
+	// acknowledged durable state wins over a cold file.
+	if addr2, shutdown2, err := StartServe(strings.NewReader(fig1Text), ServeConfig{
+		Listen:  "127.0.0.1:0",
+		RootDir: root,
+	}); err == nil {
+		shutdown2(context.Background())
+		t.Fatalf("graph argument over a recovered default accepted (bound %s)", addr2)
+	}
+}

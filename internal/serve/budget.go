@@ -1,0 +1,60 @@
+package serve
+
+// Budget is the shared re-mine worker budget of a multi-tenant host: a
+// counting semaphore every tenant's mining passes acquire a slot from, so a
+// mutation storm in one namespace queues behind the budget instead of
+// starving every other tenant's re-mine loop of CPU. Queries never touch
+// the budget — reads come off the published snapshot — so a tenant whose
+// re-mine is waiting keeps serving its last good generation at full speed.
+//
+// A nil *Budget (or one built with slots <= 0) is unbounded: every acquire
+// succeeds immediately. That makes the zero Options behave exactly as the
+// single-tenant server always has.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget of the given number of concurrent re-mine
+// slots. slots <= 0 returns an unbounded budget.
+func NewBudget(slots int) *Budget {
+	if slots <= 0 {
+		return &Budget{}
+	}
+	return &Budget{sem: make(chan struct{}, slots)}
+}
+
+// InUse reports how many slots are currently held (0 for an unbounded
+// budget). Monitoring only; the value is stale the moment it returns.
+func (b *Budget) InUse() int {
+	if b == nil || b.sem == nil {
+		return 0
+	}
+	return len(b.sem)
+}
+
+// Slots reports the budget's capacity (0 = unbounded).
+func (b *Budget) Slots() int {
+	if b == nil || b.sem == nil {
+		return 0
+	}
+	return cap(b.sem)
+}
+
+// acquire blocks until a slot is free. Every acquire must be paired with a
+// release; holders never acquire a second slot, so the budget cannot
+// deadlock — the longest wait is the sum of the other tenants' in-flight
+// mining passes.
+func (b *Budget) acquire() {
+	if b == nil || b.sem == nil {
+		return
+	}
+	b.sem <- struct{}{}
+}
+
+// release frees the slot taken by acquire.
+func (b *Budget) release() {
+	if b == nil || b.sem == nil {
+		return
+	}
+	<-b.sem
+}

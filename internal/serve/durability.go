@@ -25,6 +25,14 @@ import (
 // request was fine, the durability layer is not.
 var ErrUnavailable = errors.New("serve: durability unavailable")
 
+// ErrNoDurableState reports that a Standby start found NOTHING to promote:
+// no committed checkpoint and no acknowledged WAL batches. For a warm spare
+// that is fatal (the whole point is refusing an empty cold start); for a
+// multi-tenant recovery scan it marks a namespace whose create never
+// completed — its directory tree is quarantined, never trusted, and the
+// scan moves on.
+var ErrNoDurableState = errors.New("serve: no durable state to promote")
+
 // checkpointGraphName is the folded-graph file a checkpoint writes next to
 // the cache blobs and MANIFEST in PersistDir.
 const checkpointGraphName = "GRAPH"
@@ -276,7 +284,7 @@ func (s *Server) recoverStartup(g0 *graph.Graph) (*graph.Graph, uint64, error) {
 	}
 	if base == nil {
 		if opts.Standby {
-			return nil, 0, fmt.Errorf("serve: standby found no checkpoint to promote in %q", opts.PersistDir)
+			return nil, 0, fmt.Errorf("%w: standby found no checkpoint in %q", ErrNoDurableState, opts.PersistDir)
 		}
 		return nil, 0, fmt.Errorf("serve: nil graph and no checkpoint to recover")
 	}
@@ -335,7 +343,7 @@ func (s *Server) recoverStartup(g0 *graph.Graph) (*graph.Graph, uint64, error) {
 		s.foldedBatches = s.batchSeq - uint64(len(recs))
 	}
 	if opts.Standby && man == nil && s.rec.ReplayedBatches == 0 {
-		return nil, 0, fmt.Errorf("serve: standby found no durable state to promote (no checkpoint, empty WAL)")
+		return nil, 0, fmt.Errorf("%w: no checkpoint, empty WAL", ErrNoDurableState)
 	}
 	if len(replayed) > 0 {
 		base = Rebuild(base, replayed)

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ErrorJSON is the single error envelope EVERY endpoint (v1 and v2, handler
+// rejections and router misses alike) returns for a 4xx/5xx: a
+// human-readable message plus a stable machine code, so clients branch on
+// Code and log Error. Field order is part of the wire contract.
+type ErrorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Stable error codes of the ErrorJSON envelope.
+const (
+	// CodeBadRequest rejects malformed parameters, bodies, or mutations (400).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound marks a path no route matches (404).
+	CodeNotFound = "not_found"
+	// CodeNamespaceNotFound marks a route whose {ns} names no live tenant (404).
+	CodeNamespaceNotFound = "namespace_not_found"
+	// CodeMethodNotAllowed marks a known path hit with the wrong method (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNamespaceExists rejects creating a namespace that is already live (409).
+	CodeNamespaceExists = "namespace_exists"
+	// CodeNamespaceLimit rejects a create past the host's tenant cap (429).
+	CodeNamespaceLimit = "namespace_limit"
+	// CodeUnavailable marks a well-formed request the durability layer could
+	// not honour — a wedged WAL, a closed server (503). Retry later.
+	CodeUnavailable = "unavailable"
+	// CodeInternal marks a server-side failure applying a valid request (500).
+	CodeInternal = "internal"
+)
+
+// writeError emits the unified error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorJSON{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// registrar accumulates a mux's routes so (a) every path gets a method-miss
+// fallback answering 405 with the envelope and an Allow header instead of
+// net/http's plain text, (b) unmatched paths get an envelope 404, and (c)
+// the full method+pattern inventory is dumpable for the golden route test.
+type registrar struct {
+	mux    *http.ServeMux
+	routes []string
+	allow  map[string][]string // path -> methods registered on it
+}
+
+func newRegistrar() *registrar {
+	return &registrar{mux: http.NewServeMux(), allow: make(map[string][]string)}
+}
+
+// handle registers pattern ("METHOD /path") and records it in the
+// inventory.
+func (rg *registrar) handle(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic(fmt.Sprintf("serve: route %q must spell METHOD /path", pattern))
+	}
+	rg.mux.HandleFunc(pattern, h)
+	rg.routes = append(rg.routes, pattern)
+	rg.allow[path] = append(rg.allow[path], method)
+}
+
+// finish installs the envelope fallbacks: one method-less handler per known
+// path (405 + Allow) and the catch-all 404. Call once, after every handle.
+func (rg *registrar) finish() *http.ServeMux {
+	for path, methods := range rg.allow {
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
+		rg.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				"method %s not allowed (allow: %s)", r.Method, allow)
+		})
+	}
+	rg.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no route for %s", r.URL.Path)
+	})
+	sort.Strings(rg.routes)
+	return rg.mux
+}

@@ -127,18 +127,42 @@ const (
 	maxRequestBody = 8 << 20
 )
 
-// routes builds the /v1 mux. Every handler runs under timed, which feeds
-// the per-endpoint latency histograms in /v1/metrics.
+// tenantRoute is one endpoint of the per-namespace API surface. The table
+// below is the single source of the route set: the standalone /v1 mux, the
+// host's /v2/graphs/{ns} surface, and the deprecated /v1 alias all derive
+// from it, so the three can never drift apart.
+type tenantRoute struct {
+	method  string
+	suffix  string // path under the mount prefix, e.g. "/patterns"
+	ep      endpoint
+	handler func(*Server) http.HandlerFunc
+}
+
+// pattern renders the route as a ServeMux pattern under prefix.
+func (rt tenantRoute) pattern(prefix string) string {
+	return rt.method + " " + prefix + rt.suffix
+}
+
+var tenantRoutes = []tenantRoute{
+	{"GET", "/patterns", epPatterns, func(s *Server) http.HandlerFunc { return s.handlePatterns }},
+	{"POST", "/complete", epComplete, func(s *Server) http.HandlerFunc { return s.handleComplete }},
+	{"GET", "/model", epModel, func(s *Server) http.HandlerFunc { return s.handleModel }},
+	{"GET", "/healthz", epHealthz, func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+	{"GET", "/metrics", epMetrics, func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{"POST", "/mutations", epMutations, func(s *Server) http.HandlerFunc { return s.handleMutations }},
+	{"GET", "/watch", epWatch, func(s *Server) http.HandlerFunc { return s.handleWatch }},
+}
+
+// routes builds the standalone /v1 mux (a Server embedded without a Host).
+// Every handler runs under timed, which feeds the per-endpoint latency
+// histograms in /v1/metrics; misses and method mismatches answer with the
+// unified error envelope.
 func (s *Server) routes() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/patterns", s.timed(epPatterns, s.handlePatterns))
-	mux.HandleFunc("POST /v1/complete", s.timed(epComplete, s.handleComplete))
-	mux.HandleFunc("GET /v1/model", s.timed(epModel, s.handleModel))
-	mux.HandleFunc("GET /v1/healthz", s.timed(epHealthz, s.handleHealthz))
-	mux.HandleFunc("GET /v1/metrics", s.timed(epMetrics, s.handleMetrics))
-	mux.HandleFunc("POST /v1/mutations", s.timed(epMutations, s.handleMutations))
-	mux.HandleFunc("GET /v1/watch", s.timed(epWatch, s.handleWatch))
-	return mux
+	rg := newRegistrar()
+	for _, rt := range tenantRoutes {
+		rg.handle(rt.pattern("/v1"), s.timed(rt.ep, rt.handler(s)))
+	}
+	return rg.finish()
 }
 
 // timed wraps a handler with the endpoint's latency histogram. For
@@ -161,10 +185,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// badRequest rejects a request with a JSON error body.
+// badRequest rejects a request with the unified error envelope.
 func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
 	s.met.badRequests.Add(1)
-	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeError(w, http.StatusBadRequest, CodeBadRequest, format, args...)
 }
 
 // queryInt parses an integer query parameter with a default.
@@ -394,7 +418,7 @@ func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
 			// The batch was well-formed but could not be made durable: the
 			// client should retry against a recovered server, so this is a
 			// 503, not a 400.
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
 			return
 		}
 		s.badRequest(w, "%v", err)

@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+
+	"cspm/internal/graph"
+	"cspm/internal/shardcache"
+	"cspm/internal/wal"
+)
+
+// Registry errors of the Go-facing Host API; the HTTP layer maps each to
+// its envelope code and status.
+var (
+	// ErrNamespaceExists rejects creating a name that is already live.
+	ErrNamespaceExists = errors.New("serve: namespace already exists")
+	// ErrNamespaceNotFound names a namespace with no live tenant.
+	ErrNamespaceNotFound = errors.New("serve: namespace not found")
+	// ErrNamespaceLimit rejects a create past HostOptions.MaxNamespaces.
+	ErrNamespaceLimit = errors.New("serve: namespace limit reached")
+	// ErrHostClosed rejects registry operations after Close.
+	ErrHostClosed = errors.New("serve: host closed")
+)
+
+// DefaultNamespace is the tenant the deprecated flat /v1/* surface aliases
+// to, and the one a single-graph cspm-serve invocation seeds.
+const DefaultNamespace = "default"
+
+// maxGraphUpload bounds a namespace-create body: the uploaded graph text is
+// materialised in memory before parsing. Mutation/complete bodies keep the
+// tighter maxRequestBody bound.
+const maxGraphUpload = 256 << 20
+
+// HostOptions configures a multi-tenant Host.
+type HostOptions struct {
+	// RootDir, when non-empty, is the fleet's persist root: every namespace
+	// owns <root>/<ns>/checkpoint and <root>/<ns>/wal (see wal.Layout), its
+	// mutation acks are durable, and NewHost scans the root to restore every
+	// namespace found there. "" hosts memory-only tenants.
+	RootDir string
+	// MaxNamespaces caps live namespaces (0 = unlimited). Creates past the
+	// cap are rejected with CodeNamespaceLimit.
+	MaxNamespaces int
+	// MineBudget bounds how many tenants may run a mining pass (initial
+	// mine or re-mine) concurrently across the whole host (0 = unbounded).
+	// This is what keeps a mutation storm in one namespace from starving
+	// every other tenant's re-mine loop.
+	MineBudget int
+	// Tenant is the per-namespace Options template: mining options,
+	// debounce, retry pacing, transport. The per-tenant fields the host
+	// derives itself — Cache, PersistDir, WALDir, WALFS, Standby, Budget —
+	// must be zero; Validate rejects the template otherwise.
+	Tenant Options
+	// Standby refuses a cold start: NewHost must restore at least one
+	// namespace from RootDir, so a warm spare pointed at a replicated root
+	// can never silently come up empty. Requires RootDir.
+	Standby bool
+}
+
+// Validate sanity-checks the options.
+func (o HostOptions) Validate() error {
+	if o.MaxNamespaces < 0 {
+		return fmt.Errorf("serve: MaxNamespaces must be >= 0, got %d", o.MaxNamespaces)
+	}
+	if o.MineBudget < 0 {
+		return fmt.Errorf("serve: MineBudget must be >= 0, got %d", o.MineBudget)
+	}
+	if o.Standby && o.RootDir == "" {
+		return fmt.Errorf("serve: host Standby requires RootDir to promote from")
+	}
+	t := o.Tenant
+	if t.Cache != nil || t.PersistDir != "" || t.WALDir != "" || t.WALFS != nil || t.Standby || t.Budget != nil {
+		return fmt.Errorf("serve: tenant template must leave Cache/PersistDir/WALDir/WALFS/Standby/Budget zero (the host derives them per namespace)")
+	}
+	return t.Validate()
+}
+
+// NamespaceInfo is one tenant's directory entry on the admin surface
+// (GET /v2/graphs, and the create/info responses). Field order is part of
+// the wire contract.
+type NamespaceInfo struct {
+	Name             string `json:"name"`
+	Generation       uint64 `json:"generation"`
+	Vertices         int    `json:"vertices"`
+	Edges            int    `json:"edges"`
+	Patterns         int    `json:"patterns"`
+	PendingMutations int    `json:"pending_mutations"`
+	ModelSHA256      string `json:"model_sha256"`
+}
+
+// NamespacesResponse is the GET /v2/graphs payload.
+type NamespacesResponse struct {
+	Namespaces []NamespaceInfo `json:"namespaces"`
+}
+
+// DeleteNamespaceResponse acknowledges a namespace delete. QuarantinedTo is
+// where the tenant's on-disk subtree was renamed ("" for a memory-only
+// tenant): deletes quarantine, they never unlink an acknowledged WAL.
+type DeleteNamespaceResponse struct {
+	Name          string `json:"name"`
+	QuarantinedTo string `json:"quarantined_to"`
+}
+
+// Host is the multi-tenant serving fleet member: a registry of named
+// tenants (each a full Server — immutable snapshot, mutation loop, WAL and
+// checkpoint subtree), a shared mine budget, and the HTTP surface that
+// routes /v2/graphs/{ns}/... to tenants, admin verbs to the registry, and
+// the deprecated flat /v1/* to the default namespace. All methods and the
+// handler are safe for concurrent use.
+type Host struct {
+	opts   HostOptions
+	layout wal.Layout
+	budget *Budget
+	mux    *http.ServeMux
+	routes []string
+
+	mu       sync.RWMutex
+	tenants  map[string]*Server
+	creating map[string]bool
+	closed   bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewHost validates opts and, when RootDir is set, scans it and restores
+// every namespace found: each tenant promotes from its own checkpoint + WAL
+// exactly like a -standby single server (warm cache, replayed unfolded
+// batches, no cold re-mine). A namespace tree with NO durable state — a
+// create that died before its first checkpoint committed, so nothing was
+// ever acknowledged — is quarantined and skipped; any other recovery
+// failure aborts NewHost, because serving would mean lying about
+// acknowledged writes. Close the host to stop every tenant.
+func NewHost(opts HostOptions) (*Host, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Host{
+		opts:     opts,
+		layout:   wal.Layout{Root: opts.RootDir},
+		budget:   NewBudget(opts.MineBudget),
+		tenants:  make(map[string]*Server),
+		creating: make(map[string]bool),
+	}
+	if opts.RootDir != "" {
+		names, err := h.layout.Namespaces()
+		if err != nil {
+			return nil, err
+		}
+		for _, ns := range names {
+			s, err := h.startTenant(ns, nil, nil, true)
+			switch {
+			case err == nil:
+				h.tenants[ns] = s
+			case errors.Is(err, ErrNoDurableState):
+				// Nothing was ever acknowledged under this tree; set it aside
+				// (never unlink — an operator can still inspect it) and move on.
+				if _, qerr := h.layout.Quarantine(ns); qerr != nil {
+					h.closeTenantsLocked()
+					return nil, fmt.Errorf("serve: quarantine dead namespace %q: %w", ns, qerr)
+				}
+			default:
+				h.closeTenantsLocked()
+				return nil, fmt.Errorf("serve: recover namespace %q: %w", ns, err)
+			}
+		}
+	}
+	if opts.Standby && len(h.tenants) == 0 {
+		h.closeTenantsLocked()
+		return nil, fmt.Errorf("%w: standby host found no namespace under %q", ErrNoDurableState, opts.RootDir)
+	}
+	h.mux = h.buildRoutes()
+	return h, nil
+}
+
+// closeTenantsLocked closes every started tenant; used on NewHost failure
+// paths before the host is published (no lock contention yet).
+func (h *Host) closeTenantsLocked() {
+	for _, s := range h.tenants {
+		s.Close()
+	}
+}
+
+// startTenant builds one tenant Server from the template: per-namespace
+// dirs when the host persists, a disk-backed cache opened on the checkpoint
+// dir, the shared budget. override (nil = template) customises a tenant at
+// the Go API. On a host that owns a RootDir the override's per-tenant dir
+// fields must be zero (the host derives them); a rootless host accepts
+// explicit dirs — that is how a legacy single-tenant cspm-serve invocation
+// (-cache-dir/-wal-dir/-standby) becomes the default namespace of a host.
+// Budget is always the host's.
+func (h *Host) startTenant(ns string, g *graph.Graph, override *Options, standby bool) (*Server, error) {
+	opts := h.opts.Tenant
+	if override != nil {
+		opts = *override
+		if opts.Budget != nil {
+			return nil, fmt.Errorf("serve: tenant override must leave Budget zero (the host's budget is shared)")
+		}
+		if h.opts.RootDir != "" && (opts.Cache != nil || opts.PersistDir != "" || opts.WALDir != "" || opts.Standby) {
+			return nil, fmt.Errorf("serve: tenant override must leave Cache/PersistDir/WALDir/Standby zero when the host owns a root dir")
+		}
+	}
+	opts.Budget = h.budget
+	if standby {
+		opts.Standby = true
+	}
+	if h.opts.RootDir != "" {
+		ckpt, wdir := h.layout.CheckpointDir(ns), h.layout.WALDir(ns)
+		if err := os.MkdirAll(ckpt, 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.MkdirAll(wdir, 0o755); err != nil {
+			return nil, err
+		}
+		cache, err := shardcache.Open(0, ckpt)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = cache
+		opts.PersistDir = ckpt
+		opts.WALDir = wdir
+	} else if opts.WALFS != nil && opts.WALDir == "" {
+		// A fault-injecting filesystem needs a WAL to inject into even when
+		// the host itself is memory-only; give the tenant a log on the shim.
+		opts.WALDir = "wal"
+	}
+	return NewServer(g, opts)
+}
+
+// Create registers a new namespace serving g (nil = an empty graph; attach
+// state through mutations) under the template options, or override when
+// non-nil. It is the Go-API twin of POST /v2/graphs/{ns}. The host's lock
+// is NOT held across the initial mine, so creates never stall queries to
+// other tenants; concurrent creates of the same name race to a single
+// winner.
+func (h *Host) Create(ns string, g *graph.Graph, override *Options) (*Server, error) {
+	if err := wal.ValidNamespace(ns); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrHostClosed
+	}
+	if _, ok := h.tenants[ns]; ok || h.creating[ns] {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNamespaceExists, ns)
+	}
+	if max := h.opts.MaxNamespaces; max > 0 && len(h.tenants)+len(h.creating) >= max {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: cap %d", ErrNamespaceLimit, max)
+	}
+	h.creating[ns] = true
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.creating, ns)
+		h.mu.Unlock()
+	}()
+
+	if h.opts.RootDir != "" {
+		// A leftover tree under this name was either quarantined by the
+		// recovery scan or belongs to a create that never completed; either
+		// way it must not leak into the fresh tenant. Set it aside.
+		if _, err := os.Stat(h.layout.NamespaceDir(ns)); err == nil {
+			if _, qerr := h.layout.Quarantine(ns); qerr != nil {
+				return nil, qerr
+			}
+		}
+	}
+	// nil graph means "start empty" — except for a standby override, where
+	// nil is the contract (the checkpoint supplies the graph).
+	if g == nil && (override == nil || !override.Standby) {
+		g = graph.NewBuilder(0).Build()
+	}
+	s, err := h.startTenant(ns, g, override, false)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		s.Close()
+		return nil, ErrHostClosed
+	}
+	h.tenants[ns] = s
+	h.mu.Unlock()
+	return s, nil
+}
+
+// Delete unregisters the namespace, closes its server (final re-mine drain,
+// checkpoint, WAL close) and QUARANTINES its on-disk subtree — renamed
+// under <root>/.quarantine, never unlinked, so acknowledged WAL batches
+// survive even an operator's delete. It returns the quarantine destination
+// ("" for memory-only tenants).
+func (h *Host) Delete(ns string) (string, error) {
+	h.mu.Lock()
+	s, ok := h.tenants[ns]
+	if !ok {
+		h.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrNamespaceNotFound, ns)
+	}
+	delete(h.tenants, ns)
+	h.mu.Unlock()
+	if err := s.Close(); err != nil {
+		// The tenant is already unregistered; report the close failure but
+		// still quarantine whatever state is on disk.
+		if h.opts.RootDir == "" {
+			return "", err
+		}
+		dst, qerr := h.layout.Quarantine(ns)
+		if qerr != nil {
+			return "", errors.Join(err, qerr)
+		}
+		return dst, err
+	}
+	if h.opts.RootDir == "" {
+		return "", nil
+	}
+	return h.layout.Quarantine(ns)
+}
+
+// Tenant returns the named namespace's server.
+func (h *Host) Tenant(ns string) (*Server, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.tenants[ns]
+	return s, ok
+}
+
+// Namespaces lists every live tenant, sorted by name.
+func (h *Host) Namespaces() []NamespaceInfo {
+	h.mu.RLock()
+	out := make([]NamespaceInfo, 0, len(h.tenants))
+	for ns, s := range h.tenants {
+		out = append(out, namespaceInfo(ns, s))
+	}
+	h.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// namespaceInfo snapshots one tenant's directory entry. One snapshot load:
+// every field describes the same generation.
+func namespaceInfo(ns string, s *Server) NamespaceInfo {
+	snap := s.Snapshot()
+	return NamespaceInfo{
+		Name:             ns,
+		Generation:       snap.Generation,
+		Vertices:         snap.Graph.NumVertices(),
+		Edges:            snap.Graph.NumEdges(),
+		Patterns:         len(snap.Model.Patterns),
+		PendingMutations: s.PendingMutations(),
+		ModelSHA256:      snap.ModelSHA256,
+	}
+}
+
+// Budget exposes the host's shared mine budget (monitoring).
+func (h *Host) Budget() *Budget { return h.budget }
+
+// Routes returns the host's full route inventory, sorted — one
+// "METHOD /pattern" line per registered route. The golden route test pins
+// it so additions and renames fail loudly.
+func (h *Host) Routes() []string {
+	out := make([]string, len(h.routes))
+	copy(out, h.routes)
+	return out
+}
+
+// Drain releases every tenant's /v1/watch-style long-polls immediately;
+// wire it into http.Server.RegisterOnShutdown exactly like Server.Drain.
+func (h *Host) Drain() {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, s := range h.tenants {
+		s.Drain()
+	}
+}
+
+// Close stops every tenant (each runs its shutdown drain and checkpoint)
+// and rejects further creates. Idempotent; returns the first tenant close
+// error.
+func (h *Host) Close() error {
+	h.closeOnce.Do(func() {
+		h.mu.Lock()
+		h.closed = true
+		tenants := make([]*Server, 0, len(h.tenants))
+		for _, s := range h.tenants {
+			tenants = append(tenants, s)
+		}
+		h.mu.Unlock()
+		for _, s := range tenants {
+			if err := s.Close(); err != nil && h.closeErr == nil {
+				h.closeErr = err
+			}
+		}
+	})
+	return h.closeErr
+}
+
+// ServeHTTP serves the v2 (and aliased v1) API; a Host plugs directly into
+// http.Server.
+func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// buildRoutes assembles the host mux: admin verbs, the per-namespace v2
+// surface (one route per tenantRoutes entry), and the deprecated /v1 alias
+// onto the default namespace.
+func (h *Host) buildRoutes() *http.ServeMux {
+	rg := newRegistrar()
+	rg.handle("GET /v2/graphs", h.handleListNamespaces)
+	rg.handle("POST /v2/graphs/{ns}", h.handleCreateNamespace)
+	rg.handle("GET /v2/graphs/{ns}", h.handleNamespaceInfo)
+	rg.handle("DELETE /v2/graphs/{ns}", h.handleDeleteNamespace)
+	for _, rt := range tenantRoutes {
+		rg.handle(rt.pattern("/v2/graphs/{ns}"), h.forNamespace(rt))
+		rg.handle(rt.pattern("/v1"), h.v1Alias(rt))
+	}
+	mux := rg.finish()
+	h.routes = rg.routes
+	return mux
+}
+
+// forNamespace resolves {ns} to its tenant and dispatches to the tenant's
+// own handler under its latency histogram, so per-namespace metrics come
+// for free. An unknown namespace answers 404 with the envelope.
+func (h *Host) forNamespace(rt tenantRoute) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ns := r.PathValue("ns")
+		s, ok := h.Tenant(ns)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeNamespaceNotFound, "namespace %q not found", ns)
+			return
+		}
+		s.timed(rt.ep, rt.handler(s))(w, r)
+	}
+}
+
+// v1Alias serves the flat pre-tenancy surface against the default
+// namespace, marked deprecated per RFC 9745: same handlers, same bytes, so
+// a v1 client observes zero change beyond the headers steering it to v2.
+func (h *Host) v1Alias(rt tenantRoute) http.HandlerFunc {
+	successor := `</v2/graphs/` + DefaultNamespace + rt.suffix + `>; rel="successor-version"`
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", successor)
+		s, ok := h.Tenant(DefaultNamespace)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeNamespaceNotFound,
+				"namespace %q not found (the /v1 alias serves it; create it or use /v2)", DefaultNamespace)
+			return
+		}
+		s.timed(rt.ep, rt.handler(s))(w, r)
+	}
+}
+
+func (h *Host) handleListNamespaces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, NamespacesResponse{Namespaces: h.Namespaces()})
+}
+
+func (h *Host) handleNamespaceInfo(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	s, ok := h.Tenant(ns)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNamespaceNotFound, "namespace %q not found", ns)
+		return
+	}
+	writeJSON(w, http.StatusOK, namespaceInfo(ns, s))
+}
+
+// handleCreateNamespace is POST /v2/graphs/{ns}: the body is the initial
+// graph in the text format (empty body = empty graph). 201 on success with
+// the namespace's directory entry; the initial mine runs synchronously
+// under the shared budget, so the entry already names generation 1.
+func (h *Host) handleCreateNamespace(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	if err := wal.ValidNamespace(ns); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGraphUpload))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "read graph upload: %v", err)
+		return
+	}
+	var g *graph.Graph
+	if len(body) > 0 {
+		if g, err = graph.Load(bytes.NewReader(body)); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "parse graph upload: %v", err)
+			return
+		}
+	}
+	s, err := h.Create(ns, g, nil)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNamespaceExists):
+			writeError(w, http.StatusConflict, CodeNamespaceExists, "%v", err)
+		case errors.Is(err, ErrNamespaceLimit):
+			writeError(w, http.StatusTooManyRequests, CodeNamespaceLimit, "%v", err)
+		case errors.Is(err, ErrHostClosed):
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, "create namespace: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, namespaceInfo(ns, s))
+}
+
+func (h *Host) handleDeleteNamespace(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	dst, err := h.Delete(ns)
+	if err != nil {
+		if errors.Is(err, ErrNamespaceNotFound) {
+			writeError(w, http.StatusNotFound, CodeNamespaceNotFound, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, "delete namespace: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteNamespaceResponse{Name: ns, QuarantinedTo: dst})
+}

@@ -91,6 +91,12 @@ type Options struct {
 	// present the base graph argument may be nil. Requires WALDir or
 	// PersistDir.
 	Standby bool
+	// Budget, when non-nil, is the shared re-mine worker budget this server
+	// draws every mining pass (initial mine, re-mines, the shutdown drain)
+	// from. A multi-tenant Host hands every tenant the same Budget so one
+	// namespace's mutation storm queues behind the budget instead of
+	// starving the rest; queries never touch it. Nil is unbounded.
+	Budget *Budget
 }
 
 // defaultRetryBackoff and defaultRetryBackoffMax pace automatic retries of
@@ -269,11 +275,19 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.subVerts = base.NumVertices()
+	// The initial mine draws from the shared budget too: a fleet recovering
+	// (or bulk-creating) many namespaces mines them at the budget's pace,
+	// not all at once. The slot is held across the recovery verification,
+	// which may re-mine cold on a checksum mismatch.
+	opts.Budget.acquire()
 	model, err := s.mine(base)
 	if err != nil {
+		opts.Budget.release()
 		return nil, fmt.Errorf("serve: initial mine: %w", err)
 	}
-	if model, err = s.verifyRecoveredModel(base, model); err != nil {
+	model, err = s.verifyRecoveredModel(base, model)
+	opts.Budget.release()
+	if err != nil {
 		return nil, err
 	}
 	snap := newSnapshot(gen, base, model)
@@ -543,6 +557,11 @@ func (s *Server) loop() {
 // the front of the log (order preserved) and the last good snapshot keeps
 // serving; the loop retries after a backoff.
 func (s *Server) remine() bool {
+	// Take a shared-budget slot BEFORE collecting the batch: mutations that
+	// land while this tenant queues behind other tenants' mining coalesce
+	// into the pass instead of forcing a follow-up one.
+	s.opts.Budget.acquire()
+	defer s.opts.Budget.release()
 	s.mu.Lock()
 	batch := s.pending
 	s.pending = nil

@@ -1,0 +1,289 @@
+package serveclient_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cspm/internal/graph"
+	"cspm/internal/serve"
+	"cspm/internal/serveclient"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	for v, vals := range [][]string{{"smoker"}, {"smoker", "cancer"}, {"cancer"}, {"smoker"}} {
+		for _, val := range vals {
+			if err := b.AddAttr(graph.VertexID(v), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {0, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// startHost spins a multi-tenant host with one "alpha" tenant behind real
+// HTTP and returns a client for it.
+func startHost(t *testing.T) (*serve.Host, *serveclient.Client) {
+	t.Helper()
+	h, err := serve.NewHost(serve.HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	if _, err := h.Create("alpha", testGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	c, err := serveclient.New(hs.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, c
+}
+
+func ctxShort(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "localhost:8080/nope"} {
+		if _, err := serveclient.New(bad, nil); err == nil {
+			t.Errorf("New(%q) accepted a base URL without scheme://host", bad)
+		}
+	}
+}
+
+func TestClientFullSurface(t *testing.T) {
+	_, c := startHost(t)
+	ctx := ctxShort(t)
+	ns := c.Namespace("alpha")
+
+	pats, err := ns.Patterns(ctx, serveclient.PatternsOptions{Limit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pats.Generation != 1 || pats.Total == 0 || len(pats.Patterns) != pats.Total {
+		t.Fatalf("patterns = %+v, want generation 1 with the full list", pats)
+	}
+	paged, err := ns.Patterns(ctx, serveclient.PatternsOptions{Offset: 1, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.Offset != 1 || paged.Limit != 1 {
+		t.Fatalf("pagination not forwarded: %+v", paged)
+	}
+
+	comp, err := ns.Complete(ctx, serve.CompleteRequest{Vertices: []graph.VertexID{0}, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Results) != 1 || comp.Results[0].Vertex != 0 || len(comp.Results[0].Values) == 0 {
+		t.Fatalf("complete = %+v, want scored values for vertex 0", comp)
+	}
+
+	model, err := ns.Model(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Vertices != 4 || model.Generation != 1 {
+		t.Fatalf("model = %+v, want 4 vertices at generation 1", model)
+	}
+
+	health, err := ns.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("health = %+v", health)
+	}
+
+	ack, err := ns.Mutate(ctx, []serve.Mutation{{Op: serve.OpAddEdge, U: 0, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 1 {
+		t.Fatalf("mutate ack = %+v, want 1 accepted", ack)
+	}
+	watch, err := ns.AwaitGeneration(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if watch.Generation < 2 || watch.ModelSHA256 == "" {
+		t.Fatalf("await = %+v, want generation >= 2 with a commitment", watch)
+	}
+
+	met, err := ns.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MutationsAccepted != 1 || met.Remines == 0 {
+		t.Fatalf("metrics = mutations %d remines %d, want 1 and >0", met.MutationsAccepted, met.Remines)
+	}
+}
+
+func TestClientAdminLifecycle(t *testing.T) {
+	_, c := startHost(t)
+	ctx := ctxShort(t)
+
+	infos, err := c.ListNamespaces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "alpha" {
+		t.Fatalf("list = %+v, want [alpha]", infos)
+	}
+
+	created, err := c.CreateNamespace(ctx, "beta", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Name != "beta" || created.Generation != 1 || created.Vertices != 0 {
+		t.Fatalf("created = %+v, want empty beta at generation 1", created)
+	}
+
+	info, err := c.NamespaceInfo(ctx, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != 4 || info.ModelSHA256 == "" {
+		t.Fatalf("info = %+v", info)
+	}
+
+	del, err := c.DeleteNamespace(ctx, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Name != "beta" || del.QuarantinedTo != "" {
+		t.Fatalf("delete of a memory-only tenant = %+v, want no quarantine path", del)
+	}
+	if _, err := c.NamespaceInfo(ctx, "beta"); !serveclient.HasCode(err, serve.CodeNamespaceNotFound) {
+		t.Fatalf("info after delete = %v, want %s", err, serve.CodeNamespaceNotFound)
+	}
+}
+
+// TestClientErrorMapping: every envelope the server emits surfaces as a
+// typed *APIError the caller can branch on with HasCode.
+func TestClientErrorMapping(t *testing.T) {
+	_, c := startHost(t)
+	ctx := ctxShort(t)
+
+	cases := []struct {
+		name       string
+		call       func() error
+		wantStatus int
+		wantCode   string
+	}{
+		{"namespace not found", func() error {
+			_, err := c.Namespace("ghost").Model(ctx)
+			return err
+		}, http.StatusNotFound, serve.CodeNamespaceNotFound},
+		{"duplicate create", func() error {
+			_, err := c.CreateNamespace(ctx, "alpha", nil)
+			return err
+		}, http.StatusConflict, serve.CodeNamespaceExists},
+		{"invalid name", func() error {
+			_, err := c.CreateNamespace(ctx, "Not-Valid-NAME", nil)
+			return err
+		}, http.StatusBadRequest, serve.CodeBadRequest},
+		{"bad graph upload", func() error {
+			_, err := c.CreateNamespace(ctx, "fresh", []byte("not a graph"))
+			return err
+		}, http.StatusBadRequest, serve.CodeBadRequest},
+		{"delete unknown", func() error {
+			_, err := c.DeleteNamespace(ctx, "ghost")
+			return err
+		}, http.StatusNotFound, serve.CodeNamespaceNotFound},
+		{"invalid mutation", func() error {
+			_, err := c.Namespace("alpha").Mutate(ctx, []serve.Mutation{{Op: "bogus"}})
+			return err
+		}, http.StatusBadRequest, serve.CodeBadRequest},
+		{"bad complete", func() error {
+			_, err := c.Namespace("alpha").Complete(ctx, serve.CompleteRequest{})
+			return err
+		}, http.StatusBadRequest, serve.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("call succeeded, want an API error")
+			}
+			if !serveclient.HasCode(err, tc.wantCode) {
+				t.Fatalf("error = %v, want code %s", err, tc.wantCode)
+			}
+			ae, ok := err.(*serveclient.APIError)
+			if !ok {
+				t.Fatalf("error type %T, want *APIError", err)
+			}
+			if ae.StatusCode != tc.wantStatus {
+				t.Errorf("status %d, want %d", ae.StatusCode, tc.wantStatus)
+			}
+			if !strings.Contains(ae.Error(), tc.wantCode) {
+				t.Errorf("Error() = %q does not name the code", ae.Error())
+			}
+		})
+	}
+	if serveclient.HasCode(context.Canceled, serve.CodeBadRequest) {
+		t.Error("HasCode matched a non-API error")
+	}
+}
+
+// TestClientV1AliasSurface: the same typed client drives the deprecated
+// flat surface, observing identical payloads to the default namespace.
+func TestClientV1AliasSurface(t *testing.T) {
+	h, c := startHost(t)
+	ctx := ctxShort(t)
+	if _, err := h.Create(serve.DefaultNamespace, testGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := c.V1().Model(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.Namespace(serve.DefaultNamespace).Model(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("alias model %+v diverges from default namespace model %+v", v1, v2)
+	}
+}
+
+// TestClientCreateFromGraphUpload round-trips a graph through the text
+// format and the admin surface.
+func TestClientCreateFromGraphUpload(t *testing.T) {
+	_, c := startHost(t)
+	ctx := ctxShort(t)
+	var buf strings.Builder
+	if err := graph.Write(&buf, testGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.CreateNamespace(ctx, "uploaded", []byte(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != 4 || info.Edges != 4 || info.Generation != 1 {
+		t.Fatalf("uploaded info = %+v, want 4 vertices / 4 edges at generation 1", info)
+	}
+	comp, err := c.Namespace("uploaded").Complete(ctx, serve.CompleteRequest{Vertices: []graph.VertexID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Results) != 1 {
+		t.Fatalf("uploaded namespace does not serve: %+v", comp)
+	}
+}

@@ -7,11 +7,13 @@
 #   gates: internal/cspm + internal/invdb                  >= 93%  (the PR 2 level)
 #          internal/graph + internal/shardcache
 #            + internal/shardrpc + internal/serve
+#            + internal/serveclient
 #            + internal/wal (and wal/crashfs)
 #            + internal/dynamic                            >= 85%  (subsystem bar:
 #                                                          cache + transport +
-#                                                          serving + durability +
-#                                                          dynamic graphs)
+#                                                          serving + API client +
+#                                                          durability + dynamic
+#                                                          graphs)
 #
 #   scripts/coverage.sh            # gate at the default thresholds
 #   scripts/coverage.sh 90 80      # custom core / subsystem thresholds
@@ -22,7 +24,7 @@ SUB_THRESHOLD="${2:-85.0}"
 # Keep the test output: on failure it is the only diagnostic; on success the
 # per-package coverage lines double as a breakdown.
 go test -count=1 -coverprofile=coverage.out \
-  -coverpkg=cspm/internal/cspm,cspm/internal/invdb,cspm/internal/graph,cspm/internal/shardcache,cspm/internal/shardrpc,cspm/internal/serve,cspm/internal/wal,cspm/internal/wal/crashfs,cspm/internal/dynamic ./...
+  -coverpkg=cspm/internal/cspm,cspm/internal/invdb,cspm/internal/graph,cspm/internal/shardcache,cspm/internal/shardrpc,cspm/internal/serve,cspm/internal/serveclient,cspm/internal/wal,cspm/internal/wal/crashfs,cspm/internal/dynamic ./...
 
 # group_pct <file-path-regex>: statement coverage over the matching files.
 # Blocks are deduped by position (the merged profile repeats blocks once per
@@ -58,4 +60,4 @@ gate() { # gate <label> <regex> <threshold>
 }
 
 gate "internal/cspm + internal/invdb" '^cspm/internal/(cspm|invdb)/' "$CORE_THRESHOLD"
-gate "internal/graph + internal/shardcache + internal/shardrpc + internal/serve + internal/wal + internal/dynamic" '^cspm/internal/(graph|shardcache|shardrpc|serve|wal|dynamic)/' "$SUB_THRESHOLD"
+gate "internal/graph + internal/shardcache + internal/shardrpc + internal/serve + internal/serveclient + internal/wal + internal/dynamic" '^cspm/internal/(graph|shardcache|shardrpc|serve|serveclient|wal|dynamic)/' "$SUB_THRESHOLD"

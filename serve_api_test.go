@@ -1,23 +1,24 @@
-// End-to-end pin for the online serving subsystem through the public API:
-// a running server answers /v1/complete during an active background
-// re-mine with zero failed requests, and after the re-mine completes the
-// served model is bit-identical to Mine on the mutated graph.
+// End-to-end pin for the online serving subsystem through the public API
+// and the typed client: a multi-tenant host answers completion queries on
+// one namespace during that namespace's active background re-mine with zero
+// failed requests, the other namespace is untouched, and after the re-mine
+// the served model is bit-identical to Mine on the mutated graph — over the
+// wire, through serveclient, on both the /v2 surface and the /v1 alias.
 package cspm_test
 
 import (
 	"context"
-	"encoding/json"
-	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"cspm"
+	"cspm/internal/serve"
+	"cspm/internal/serveclient"
 )
 
 // serveTestGraph builds the initial two-island graph; mutated mirrors the
@@ -54,18 +55,59 @@ func serveTestGraph(t *testing.T, mutated bool) *cspm.Graph {
 	return b.Build()
 }
 
+// steadyGraph is the second tenant: a small clique whose model must not
+// move while the first tenant re-mines.
+func steadyGraph(t *testing.T) *cspm.Graph {
+	t.Helper()
+	b := cspm.NewBuilder(4)
+	for v := cspm.VertexID(0); v < 4; v++ {
+		if err := b.AddAttr(v, "steady"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := cspm.VertexID(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
 func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
-	g := serveTestGraph(t, false)
-	srv, err := cspm.NewServer(g, cspm.ServerOptions{})
+	host, err := cspm.NewServeHost(cspm.ServeHostOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
-	hs := httptest.NewServer(srv)
+	defer host.Close()
+	hs := httptest.NewServer(host)
 	defer hs.Close()
+	client, err := serveclient.New(hs.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
 
-	// Hammer /v1/complete for the whole mutate-and-re-mine window: zero
-	// failed requests is part of the acceptance contract.
+	// The default namespace (the one /v1 aliases) carries the load; a second
+	// namespace must sit completely still through it.
+	g := serveTestGraph(t, false)
+	if _, err := host.Create(cspm.DefaultServeNamespace, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.Create("steady", steadyGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	steadyBefore, err := client.NamespaceInfo(ctx, "steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def := client.Namespace(cspm.DefaultServeNamespace)
+	// Hammer complete for the whole mutate-and-re-mine window, through the
+	// typed client on both surfaces: zero failed requests is part of the
+	// acceptance contract.
 	var (
 		wg       sync.WaitGroup
 		stop     = make(chan struct{})
@@ -74,6 +116,10 @@ func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
 	)
 	for w := 0; w < 3; w++ {
 		wg.Add(1)
+		surface := def
+		if w == 0 {
+			surface = client.V1() // the deprecated alias serves the same tenant
+		}
 		go func() {
 			defer wg.Done()
 			for {
@@ -82,18 +128,10 @@ func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
 					return
 				default:
 				}
-				resp, err := http.Post(hs.URL+"/v1/complete", "application/json",
-					strings.NewReader(`{"vertices":[2,6],"top_k":3}`))
-				if err != nil {
-					failures.Add(1)
-					return
-				}
-				var body struct {
-					Generation uint64 `json:"generation"`
-				}
-				decErr := json.NewDecoder(resp.Body).Decode(&body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK || decErr != nil || body.Generation == 0 {
+				resp, err := surface.Complete(ctx, serve.CompleteRequest{
+					Vertices: []cspm.VertexID{2, 6}, TopK: 3,
+				})
+				if err != nil || resp.Generation == 0 {
 					failures.Add(1)
 					return
 				}
@@ -107,18 +145,21 @@ func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
 		{Op: "add_attr", U: 3, Value: "cancer"},
 		{Op: "del_edge", U: 4, V: 6},
 	}
-	if err := srv.SubmitMutations(muts); err != nil {
+	ack, err := def.Mutate(ctx, muts)
+	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := srv.AwaitGeneration(ctx, 2); err != nil {
+	if ack.Accepted != len(muts) {
+		t.Fatalf("mutation ack accepted %d, want %d", ack.Accepted, len(muts))
+	}
+	watch, err := def.AwaitGeneration(ctx, 2)
+	if err != nil {
 		t.Fatal(err)
 	}
 	close(stop)
 	wg.Wait()
 	if failures.Load() > 0 {
-		t.Fatalf("%d /v1/complete requests failed during the re-mine", failures.Load())
+		t.Fatalf("%d complete requests failed during the re-mine", failures.Load())
 	}
 	if served.Load() == 0 {
 		t.Fatal("no queries served during the re-mine window")
@@ -127,6 +168,10 @@ func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
 	// The served model must now be bit-identical to Mine on the mutated
 	// graph — first through the public snapshot, then over the wire.
 	want := cspm.Mine(serveTestGraph(t, true))
+	srv, ok := host.Tenant(cspm.DefaultServeNamespace)
+	if !ok {
+		t.Fatal("default tenant vanished")
+	}
 	snap := srv.Snapshot()
 	if snap.Model.BaselineDL != want.BaselineDL || snap.Model.FinalDL != want.FinalDL {
 		t.Fatalf("served DLs (%v, %v) diverge from Mine(g') (%v, %v)",
@@ -135,58 +180,52 @@ func TestPublicServeEquivalenceUnderLoad(t *testing.T) {
 	if !reflect.DeepEqual(snap.Model.Patterns, want.Patterns) {
 		t.Fatal("served patterns diverge from Mine(g')")
 	}
-
-	var model struct {
-		Generation uint64  `json:"generation"`
-		FinalDL    float64 `json:"final_dl"`
-		BaselineDL float64 `json:"baseline_dl"`
-		Patterns   int     `json:"patterns"`
+	if watch.ModelSHA256 != snap.ModelSHA256 {
+		t.Fatalf("watch commitment %s diverges from the served snapshot's %s",
+			watch.ModelSHA256, snap.ModelSHA256)
 	}
-	resp, err := http.Get(hs.URL + "/v1/model")
+
+	model, err := def.Model(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&model); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if model.Generation != 2 || model.FinalDL != want.FinalDL ||
 		model.BaselineDL != want.BaselineDL || model.Patterns != len(want.Patterns) {
-		t.Fatalf("/v1/model reports %+v, want the Mine(g') stats", model)
+		t.Fatalf("model endpoint reports %+v, want the Mine(g') stats", model)
 	}
 
-	// The ranked wire patterns must spell exactly Mine(g')'s list.
-	var page struct {
-		Total    int `json:"total"`
-		Patterns []struct {
-			Core    []string `json:"core"`
-			Leaf    []string `json:"leaf"`
-			FL      int      `json:"fl"`
-			FC      int      `json:"fc"`
-			CodeLen float64  `json:"code_len"`
-		} `json:"patterns"`
+	// The ranked wire patterns must spell exactly Mine(g')'s list — and the
+	// v1 alias must serve the identical page.
+	for _, surface := range []*serveclient.NamespaceClient{def, client.V1()} {
+		page, err := surface.Patterns(ctx, serveclient.PatternsOptions{Limit: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != len(want.Patterns) {
+			t.Fatalf("patterns total=%d, want %d", page.Total, len(want.Patterns))
+		}
+		vocab := serveTestGraph(t, true).Vocab()
+		for i, p := range page.Patterns {
+			wantCore := attrNamesSorted(vocab, want.Patterns[i].CoreValues)
+			wantLeaf := attrNamesSorted(vocab, want.Patterns[i].LeafValues)
+			if !reflect.DeepEqual(p.Core, wantCore) || !reflect.DeepEqual(p.Leaf, wantLeaf) ||
+				p.FL != want.Patterns[i].FL || p.FC != want.Patterns[i].FC ||
+				p.CodeLen != want.Patterns[i].CodeLen {
+				t.Fatalf("wire pattern %d = %+v, want (%v, %v, fl=%d, fc=%d, len=%v)",
+					i, p, wantCore, wantLeaf, want.Patterns[i].FL, want.Patterns[i].FC, want.Patterns[i].CodeLen)
+			}
+		}
 	}
-	resp, err = http.Get(hs.URL + "/v1/patterns?limit=1000")
+
+	// The steady tenant never moved: same generation, same commitment.
+	steadyAfter, err := client.NamespaceInfo(ctx, "steady")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if page.Total != len(want.Patterns) {
-		t.Fatalf("/v1/patterns total=%d, want %d", page.Total, len(want.Patterns))
-	}
-	vocab := serveTestGraph(t, true).Vocab()
-	for i, p := range page.Patterns {
-		wantCore := attrNamesSorted(vocab, want.Patterns[i].CoreValues)
-		wantLeaf := attrNamesSorted(vocab, want.Patterns[i].LeafValues)
-		if !reflect.DeepEqual(p.Core, wantCore) || !reflect.DeepEqual(p.Leaf, wantLeaf) ||
-			p.FL != want.Patterns[i].FL || p.FC != want.Patterns[i].FC ||
-			p.CodeLen != want.Patterns[i].CodeLen {
-			t.Fatalf("wire pattern %d = %+v, want (%v, %v, fl=%d, fc=%d, len=%v)",
-				i, p, wantCore, wantLeaf, want.Patterns[i].FL, want.Patterns[i].FC, want.Patterns[i].CodeLen)
-		}
+	if steadyAfter.Generation != steadyBefore.Generation ||
+		steadyAfter.ModelSHA256 != steadyBefore.ModelSHA256 {
+		t.Fatalf("steady tenant moved during the neighbour's re-mine: %+v -> %+v",
+			steadyBefore, steadyAfter)
 	}
 }
 
