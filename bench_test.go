@@ -654,3 +654,69 @@ func BenchmarkServe_RemineLatency(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(srv.Snapshot().Model.CacheHits), "cache-hits")
 }
+
+// BenchmarkReplica_CatchUp measures cold replica attachment end to end: a
+// fresh -follow host pulls the leader's checkpoint over HTTP, verifies
+// every shipped artifact against the MANIFEST's SHA-256 commitments,
+// warm-mines from the verified shard blobs, and publishes the leader's
+// generation. bytes-shipped/op is the wire cost of one attachment — the
+// number a fleet operator multiplies by replica count per published
+// generation.
+func BenchmarkReplica_CatchUp(b *testing.B) {
+	cfg := dataset.DefaultIslands()
+	cfg.Seed = 7
+	g := dataset.Islands(cfg)
+	leader, err := cspm.NewServeHost(cspm.ServeHostOptions{RootDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := leader.Create(cspm.DefaultServeNamespace, g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(leader)
+	b.Cleanup(func() {
+		hs.Close()
+		leader.Close()
+	})
+	// A few published generations first, so catch-up replicates a leader
+	// with history, not just the seed checkpoint.
+	ops := []string{"add_edge", "del_edge"}
+	for i := 0; i < 4; i++ {
+		if err := srv.SubmitMutations([]cspm.GraphMutation{{Op: ops[i%2], U: 1, V: 3}}); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err := srv.Flush(ctx)
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	want := srv.Snapshot().Generation
+	before := srv.Metrics().ReplicationBytesShipped
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replica, err := cspm.NewServeHost(cspm.ServeHostOptions{
+			RootDir:    b.TempDir(),
+			Follow:     hs.URL,
+			FollowPoll: 5 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, ok := replica.Tenant(cspm.DefaultServeNamespace)
+		if !ok {
+			b.Fatal("replica host did not mirror the namespace")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err = rs.AwaitGeneration(ctx, want)
+		cancel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		replica.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(srv.Metrics().ReplicationBytesShipped-before)/float64(b.N), "bytes-shipped/op")
+}

@@ -23,7 +23,8 @@
 //
 //	cspm-serve [-listen :7480] [-shards K] [-cache-dir DIR] [-wal-dir DIR]
 //	           [-root-dir DIR] [-max-namespaces N] [-mine-budget N]
-//	           [-standby] [-debounce D] [-remote host:port,...]
+//	           [-standby] [-follow URL] [-follow-poll D] [-proxy-writes]
+//	           [-debounce D] [-remote host:port,...]
 //	           [-remote-timeout D] [-remote-retries N] [-remote-no-fallback]
 //	           graph.txt
 //
@@ -38,6 +39,16 @@
 // namespace found under it at startup. On SIGINT/SIGTERM the server drains
 // in-flight requests (force-closing them at -drain-timeout), checkpoints
 // every tenant and exits; a second SIGINT exits immediately.
+//
+// -follow http://leader:port turns the process into a read REPLICA of a
+// leader fleet member (requires -root-dir, omit the graph argument): every
+// leader namespace is mirrored as a follower tenant that pulls each
+// published generation over /replication/*, verifies every shipped artifact
+// against the leader's MANIFEST SHA-256 commitments before swapping it in,
+// and mirrors the leader's WAL tail so POST
+// /v2/graphs/{ns}/replication/promote can turn it into a leader without
+// losing an acknowledged batch. Replicas answer reads locally and reject
+// mutations with 409 not_leader, or forward them with -proxy-writes.
 package main
 
 import (
@@ -67,6 +78,9 @@ func main() {
 	flag.IntVar(&cfg.MaxNamespaces, "max-namespaces", 0, "cap on concurrently hosted namespaces (0 = unlimited)")
 	flag.IntVar(&cfg.MineBudget, "mine-budget", 0, "max namespaces mining or re-mining at once across the host (0 = unlimited)")
 	flag.BoolVar(&cfg.Standby, "standby", false, "refuse to cold-start: promote from durable state (-root-dir, or -cache-dir/-wal-dir) or fail")
+	flag.StringVar(&cfg.Follow, "follow", "", "replicate every namespace from this leader host URL (requires -root-dir; omit the graph argument)")
+	flag.DurationVar(&cfg.FollowPoll, "follow-poll", 0, "replica pull pacing (0 = default)")
+	flag.BoolVar(&cfg.ProxyWrites, "proxy-writes", false, "forward mutations hitting this replica to the -follow leader instead of rejecting them")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown before force-closing them")
 	flag.Parse()
 	var in io.Reader
@@ -83,7 +97,7 @@ func main() {
 			defer f.Close()
 			in = f
 		}
-	case flag.NArg() == 0 && (cfg.Standby || cfg.RootDir != ""):
+	case flag.NArg() == 0 && (cfg.Standby || cfg.RootDir != "" || cfg.Follow != ""):
 		// Promote purely from durable state, or start a (possibly empty)
 		// multi-tenant host populated over the /v2 admin surface.
 	default:

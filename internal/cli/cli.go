@@ -367,6 +367,18 @@ type ServeConfig struct {
 	// concurrently (0 = unbounded), so one tenant's mutation storm queues
 	// behind the budget instead of starving the rest.
 	MineBudget int
+	// Follow makes the process a read REPLICA of the leader host at this
+	// base URL (e.g. "http://leader:8080"): every leader namespace is
+	// mirrored as a follower tenant, verified against the leader's manifest
+	// commitments, and served locally; mutations answer 409 not_leader (or
+	// forward, with ProxyWrites). Requires RootDir; the graph argument must
+	// be omitted. Mutually exclusive with Standby.
+	Follow string
+	// FollowPoll paces the replica's pull loops (0 = the serve default).
+	FollowPoll time.Duration
+	// ProxyWrites forwards mutations hitting this replica to the leader
+	// instead of rejecting them.
+	ProxyWrites bool
 }
 
 // StartServe validates cfg, reads the initial graph from r (nil skips the
@@ -393,6 +405,19 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 	}
 	if cfg.RootDir != "" && (cfg.CacheDir != "" || cfg.WALDir != "") {
 		return "", nil, fmt.Errorf("-root-dir gives every namespace its own cache and WAL subtree; it is mutually exclusive with -cache-dir and -wal-dir")
+	}
+	if cfg.Follow != "" {
+		if cfg.RootDir == "" {
+			return "", nil, fmt.Errorf("-follow requires -root-dir (the replica mirrors checkpoints and WALs there)")
+		}
+		if cfg.Standby {
+			return "", nil, fmt.Errorf("-follow and -standby are mutually exclusive (a replica IS a continuously-warmed standby)")
+		}
+		if r != nil {
+			return "", nil, fmt.Errorf("-follow replicates every graph from the leader; omit the graph argument")
+		}
+	} else if cfg.FollowPoll != 0 || cfg.ProxyWrites {
+		return "", nil, fmt.Errorf("-follow-poll and -proxy-writes require -follow")
 	}
 	if cfg.RootDir != "" {
 		// Probe the root before the graph read: an unusable persistence
@@ -425,6 +450,9 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		MineBudget:    cfg.MineBudget,
 		Tenant:        tenant,
 		Standby:       cfg.Standby && cfg.RootDir != "",
+		Follow:        cfg.Follow,
+		FollowPoll:    cfg.FollowPoll,
+		ProxyWrites:   cfg.ProxyWrites,
 	}
 	if err := hostOpts.Validate(); err != nil {
 		return "", nil, err

@@ -319,28 +319,45 @@ func (s *Server) recoverStartup(g0 *graph.Graph) (*graph.Graph, uint64, error) {
 			return nil, 0, fmt.Errorf("serve: WAL was compacted through batch %d but recovered state folds only %d — acknowledged batches lost",
 				l.NextSeq()-1, folded)
 		}
-		// Replay validation threads the running vertex count batch to batch,
-		// exactly as the submit path did when the batches were acknowledged.
-		n := base.NumVertices()
-		for _, r := range recs {
-			batch, derr := decodeBatch(r.Payload)
-			if derr != nil {
-				return nil, 0, fmt.Errorf("serve: WAL batch %d: %w", r.Seq, derr)
+		if opts.Follow != nil {
+			// Mirror mode: the surviving records are the LEADER's unfolded
+			// batches. They stay in the log so a promotion can replay them,
+			// but a follower serves exactly the installed checkpoint
+			// generation — replaying here would publish state the leader
+			// never committed to a manifest. The gap checks above still ran:
+			// a mirror that lost acknowledged records refuses to start too.
+			s.foldedBatches = folded
+			s.batchSeq = l.NextSeq() - 1
+		} else {
+			// Replay validation threads the running vertex count batch to batch,
+			// exactly as the submit path did when the batches were acknowledged.
+			n := base.NumVertices()
+			for _, r := range recs {
+				batch, derr := decodeBatch(r.Payload)
+				if derr != nil {
+					return nil, 0, fmt.Errorf("serve: WAL batch %d: %w", r.Seq, derr)
+				}
+				delta, verr := validateBatch(batch, n)
+				if verr != nil {
+					return nil, 0, fmt.Errorf("serve: WAL batch %d replays invalid mutation: %w", r.Seq, verr)
+				}
+				n += delta
+				replayed = append(replayed, batch...)
 			}
-			delta, verr := validateBatch(batch, n)
-			if verr != nil {
-				return nil, 0, fmt.Errorf("serve: WAL batch %d replays invalid mutation: %w", r.Seq, verr)
+			s.rec.ReplayedBatches = len(recs)
+			s.rec.ReplayedMutations = len(replayed)
+			s.met.recoveredBatches.Add(uint64(len(recs)))
+			// Sequence bookkeeping lives in the WAL's own domain: batchSeq is the
+			// last record on disk, foldedBatches what the recovered base covers.
+			s.batchSeq = l.NextSeq() - 1
+			s.foldedBatches = s.batchSeq - uint64(len(recs))
+			if opts.PersistDir != "" {
+				// A restarted leader re-seeds its in-memory ship tail from the
+				// same unfolded records it is about to replay.
+				s.walTail = recs
 			}
-			n += delta
-			replayed = append(replayed, batch...)
 		}
-		s.rec.ReplayedBatches = len(recs)
-		s.rec.ReplayedMutations = len(replayed)
-		s.met.recoveredBatches.Add(uint64(len(recs)))
-		// Sequence bookkeeping lives in the WAL's own domain: batchSeq is the
-		// last record on disk, foldedBatches what the recovered base covers.
-		s.batchSeq = l.NextSeq() - 1
-		s.foldedBatches = s.batchSeq - uint64(len(recs))
+		s.walPos.Store(s.batchSeq)
 	}
 	if opts.Standby && man == nil && s.rec.ReplayedBatches == 0 {
 		return nil, 0, fmt.Errorf("%w: no checkpoint, empty WAL", ErrNoDurableState)
@@ -423,6 +440,9 @@ func (s *Server) checkpoint(snap *Snapshot) error {
 			return err
 		}
 	}
+	// Followers can re-fetch anything ≤ folded from the checkpoint just
+	// shipped, so the in-memory tail sheds it too.
+	s.pruneTail(folded)
 	s.met.checkpoints.Add(1)
 	return nil
 }

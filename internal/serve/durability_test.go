@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -81,6 +82,41 @@ func TestRetryDelaySchedule(t *testing.T) {
 	// A max below the base is raised to it, never truncating the first delay.
 	if got := retryDelay(time.Second, time.Millisecond, 1); got < 875*time.Millisecond {
 		t.Errorf("retryDelay with max<base = %v, want ~1s", got)
+	}
+
+	// Long failure runs: the schedule stays pinned at the (jittered) cap no
+	// matter how many consecutive failures accumulate. Before the exponent
+	// clamp, the doubling loop overflowed time.Duration once the failure
+	// count crossed the word size, so a long-dead fleet was suddenly retried
+	// with a zero (or negative) delay — a retry storm exactly when backoff
+	// mattered most.
+	longRun := map[uint64]time.Duration{
+		8: 30000000000, 16: 27349779157, 32: 27199572574,
+		64: 26899159408, 128: 26298333076, 1 << 20: 30000000000,
+	}
+	for f, want := range longRun {
+		if got := retryDelay(0, 0, f); got != want {
+			t.Errorf("retryDelay(defaults, %d) = %d, want %d", f, got, want)
+		}
+	}
+	// The overflow regression itself: a cap in the top half of the duration
+	// range (here the maximum representable one) used to wrap the doubled
+	// delay negative past ~63 failures. Pin the exact saturated schedule and
+	// that every delay in a long run stays positive and capped.
+	unbounded := time.Duration(math.MaxInt64)
+	saturated := map[uint64]time.Duration{
+		61: 9223372036854775807, 62: 9223372036854775807, 63: 9198308284150614322,
+		64: 9069808057405343044, 65: 8941307830660071766, 128: 9223372036854775807,
+	}
+	for f, want := range saturated {
+		if got := retryDelay(time.Second, unbounded, f); got != want {
+			t.Errorf("retryDelay(1s, MaxInt64, %d) = %d, want %d", f, got, want)
+		}
+	}
+	for f := uint64(1); f <= 256; f++ {
+		if got := retryDelay(time.Second, unbounded, f); got <= 0 || got > unbounded {
+			t.Fatalf("retryDelay(1s, MaxInt64, %d) = %d: escaped (0, max]", f, got)
+		}
 	}
 }
 
@@ -355,6 +391,9 @@ func TestWALUnavailable503(t *testing.T) {
 	s.ServeHTTP(w, req)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("POST /v1/mutations over a crashed WAL = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 unavailable envelope without a Retry-After header")
 	}
 	if got := s.Metrics(); got.WALAppendErrors == 0 {
 		t.Fatal("wal_append_errors not incremented")

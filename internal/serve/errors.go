@@ -35,7 +35,29 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeInternal marks a server-side failure applying a valid request (500).
 	CodeInternal = "internal"
+	// CodeNotLeader rejects a mutation sent to a replica (409). The message
+	// names the leader URL so the client can redirect the write.
+	CodeNotLeader = "not_leader"
+	// CodeNotFollower rejects a promote sent to a tenant that is not
+	// following a leader (409).
+	CodeNotFollower = "not_follower"
+	// CodeNotReplicable rejects a replication pull from a server without
+	// durable state to ship — no checkpoint dir, or still mid-startup (409).
+	CodeNotReplicable = "not_replicable"
 )
+
+// unavailableRetryAfter is the Retry-After hint on every 503 envelope: long
+// enough for a standby promotion or WAL recovery to land, short enough that
+// polling clients converge quickly once the server is back.
+const unavailableRetryAfter = "5"
+
+// writeUnavailable emits the 503 envelope with the Retry-After header the
+// status demands (RFC 9110 §10.2.3): a 503 is by definition temporary, so
+// every one of them tells the client when to come back.
+func writeUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", unavailableRetryAfter)
+	writeError(w, http.StatusServiceUnavailable, CodeUnavailable, format, args...)
+}
 
 // writeError emits the unified error envelope.
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {

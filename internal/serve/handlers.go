@@ -418,7 +418,14 @@ func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
 			// The batch was well-formed but could not be made durable: the
 			// client should retry against a recovered server, so this is a
 			// 503, not a 400.
-			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+			writeUnavailable(w, "%v", err)
+			return
+		}
+		if errors.Is(err, ErrNotLeader) {
+			// Followers answer reads; writes belong to the leader the error
+			// message names. 409: the request is fine, this server's role is
+			// the conflict.
+			writeError(w, http.StatusConflict, CodeNotLeader, "%v", err)
 			return
 		}
 		s.badRequest(w, "%v", err)

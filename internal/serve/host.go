@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"cspm/internal/graph"
 	"cspm/internal/shardcache"
@@ -61,6 +63,24 @@ type HostOptions struct {
 	// namespace from RootDir, so a warm spare pointed at a replicated root
 	// can never silently come up empty. Requires RootDir.
 	Standby bool
+	// Follow, when non-empty, is a LEADER HOST's base URL (e.g.
+	// "http://leader:8080") and makes this host a replica fleet member:
+	// every tenant runs as a follower of the same namespace on the leader,
+	// and a background sync keeps the namespace set aligned — leader creates
+	// appear here, leader deletes quarantine the local mirror. Creates,
+	// deletes and mutations are rejected (or, for mutations with
+	// ProxyWrites, forwarded). Requires RootDir; incompatible with Standby.
+	Follow string
+	// FollowPoll paces both each tenant's pull loop and the namespace-set
+	// sync (0 = the serve-level default).
+	FollowPoll time.Duration
+	// FollowClient is the HTTP client every leader call uses (nil =
+	// http.DefaultClient).
+	FollowClient *http.Client
+	// ProxyWrites forwards mutations hitting a follower tenant to the
+	// leader instead of answering 409 not_leader, so naive clients can
+	// point at any fleet member. The response streams back verbatim.
+	ProxyWrites bool
 }
 
 // Validate sanity-checks the options.
@@ -74,9 +94,22 @@ func (o HostOptions) Validate() error {
 	if o.Standby && o.RootDir == "" {
 		return fmt.Errorf("serve: host Standby requires RootDir to promote from")
 	}
+	if o.Follow != "" {
+		if o.RootDir == "" {
+			return fmt.Errorf("serve: host Follow requires RootDir (the mirror checkpoints and WALs)")
+		}
+		if o.Standby {
+			return fmt.Errorf("serve: host Follow and Standby are exclusive (a replica IS a continuously-warmed standby)")
+		}
+	} else if o.FollowPoll != 0 || o.FollowClient != nil || o.ProxyWrites {
+		return fmt.Errorf("serve: FollowPoll/FollowClient/ProxyWrites require Follow")
+	}
+	if o.FollowPoll < 0 {
+		return fmt.Errorf("serve: FollowPoll must be >= 0, got %v", o.FollowPoll)
+	}
 	t := o.Tenant
-	if t.Cache != nil || t.PersistDir != "" || t.WALDir != "" || t.WALFS != nil || t.Standby || t.Budget != nil {
-		return fmt.Errorf("serve: tenant template must leave Cache/PersistDir/WALDir/WALFS/Standby/Budget zero (the host derives them per namespace)")
+	if t.Cache != nil || t.PersistDir != "" || t.WALDir != "" || t.WALFS != nil || t.Standby || t.Budget != nil || t.Follow != nil {
+		return fmt.Errorf("serve: tenant template must leave Cache/PersistDir/WALDir/WALFS/Standby/Budget/Follow zero (the host derives them per namespace)")
 	}
 	return t.Validate()
 }
@@ -92,6 +125,9 @@ type NamespaceInfo struct {
 	Patterns         int    `json:"patterns"`
 	PendingMutations int    `json:"pending_mutations"`
 	ModelSHA256      string `json:"model_sha256"`
+	// Role is the tenant's replication role (PR 9): leader, follower, or
+	// standalone.
+	Role string `json:"role"`
 }
 
 // NamespacesResponse is the GET /v2/graphs payload.
@@ -125,6 +161,10 @@ type Host struct {
 	creating map[string]bool
 	closed   bool
 
+	// Replica-host sync loop (Follow set): quit stops it, syncDone confirms.
+	quit     chan struct{}
+	syncDone chan struct{}
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -154,7 +194,10 @@ func NewHost(opts HostOptions) (*Host, error) {
 			return nil, err
 		}
 		for _, ns := range names {
-			s, err := h.startTenant(ns, nil, nil, true)
+			// On a replica host, restored namespaces come back as FOLLOWERS
+			// (re-bootstrapping from the leader); elsewhere they promote from
+			// their own checkpoint + WAL like a -standby single server.
+			s, err := h.startTenant(ns, nil, nil, opts.Follow == "", opts.Follow != "")
 			switch {
 			case err == nil:
 				h.tenants[ns] = s
@@ -176,6 +219,19 @@ func NewHost(opts HostOptions) (*Host, error) {
 		return nil, fmt.Errorf("%w: standby host found no namespace under %q", ErrNoDurableState, opts.RootDir)
 	}
 	h.mux = h.buildRoutes()
+	if opts.Follow != "" {
+		// The first namespace-set sync is strict — a replica host that cannot
+		// reach its leader at start has nothing trustworthy to serve beyond
+		// what it restored, and failing loudly beats silently serving an
+		// empty fleet. Later sync failures just skip a cycle.
+		if err := h.syncFollowers(); err != nil {
+			h.closeTenantsLocked()
+			return nil, fmt.Errorf("serve: replica host initial sync: %w", err)
+		}
+		h.quit = make(chan struct{})
+		h.syncDone = make(chan struct{})
+		go h.followSyncLoop()
+	}
 	return h, nil
 }
 
@@ -195,12 +251,15 @@ func (h *Host) closeTenantsLocked() {
 // explicit dirs — that is how a legacy single-tenant cspm-serve invocation
 // (-cache-dir/-wal-dir/-standby) becomes the default namespace of a host.
 // Budget is always the host's.
-func (h *Host) startTenant(ns string, g *graph.Graph, override *Options, standby bool) (*Server, error) {
+func (h *Host) startTenant(ns string, g *graph.Graph, override *Options, standby, follow bool) (*Server, error) {
 	opts := h.opts.Tenant
 	if override != nil {
 		opts = *override
 		if opts.Budget != nil {
 			return nil, fmt.Errorf("serve: tenant override must leave Budget zero (the host's budget is shared)")
+		}
+		if opts.Follow != nil {
+			return nil, fmt.Errorf("serve: tenant override must leave Follow zero (the host derives it from its own Follow URL)")
 		}
 		if h.opts.RootDir != "" && (opts.Cache != nil || opts.PersistDir != "" || opts.WALDir != "" || opts.Standby) {
 			return nil, fmt.Errorf("serve: tenant override must leave Cache/PersistDir/WALDir/Standby zero when the host owns a root dir")
@@ -209,6 +268,15 @@ func (h *Host) startTenant(ns string, g *graph.Graph, override *Options, standby
 	opts.Budget = h.budget
 	if standby {
 		opts.Standby = true
+	}
+	if follow {
+		// Namespace names are ValidNamespace-constrained ([a-z0-9_-]), so
+		// splicing one into the leader URL needs no escaping.
+		opts.Follow = &FollowOptions{
+			Leader: h.opts.Follow + "/v2/graphs/" + ns,
+			Poll:   h.opts.FollowPoll,
+			Client: h.opts.FollowClient,
+		}
 	}
 	if h.opts.RootDir != "" {
 		ckpt, wdir := h.layout.CheckpointDir(ns), h.layout.WALDir(ns)
@@ -243,6 +311,18 @@ func (h *Host) Create(ns string, g *graph.Graph, override *Options) (*Server, er
 	if err := wal.ValidNamespace(ns); err != nil {
 		return nil, err
 	}
+	if h.opts.Follow != "" {
+		// A replica's namespace set mirrors its leader's: direct creates would
+		// fork the fleet. Create the namespace on the leader; the sync loop
+		// brings it here.
+		return nil, fmt.Errorf("%w (leader: %s)", ErrNotLeader, h.opts.Follow)
+	}
+	return h.create(ns, g, override, false)
+}
+
+// create is the registry-side create, shared by the public Create and the
+// replica sync loop (which registers followers a direct create must not).
+func (h *Host) create(ns string, g *graph.Graph, override *Options, follow bool) (*Server, error) {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -274,12 +354,12 @@ func (h *Host) Create(ns string, g *graph.Graph, override *Options) (*Server, er
 			}
 		}
 	}
-	// nil graph means "start empty" — except for a standby override, where
-	// nil is the contract (the checkpoint supplies the graph).
-	if g == nil && (override == nil || !override.Standby) {
+	// nil graph means "start empty" — except for a standby override (the
+	// checkpoint supplies the graph) and a follower (the leader does).
+	if g == nil && !follow && (override == nil || !override.Standby) {
 		g = graph.NewBuilder(0).Build()
 	}
-	s, err := h.startTenant(ns, g, override, false)
+	s, err := h.startTenant(ns, g, override, false, follow)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +380,17 @@ func (h *Host) Create(ns string, g *graph.Graph, override *Options) (*Server, er
 // survive even an operator's delete. It returns the quarantine destination
 // ("" for memory-only tenants).
 func (h *Host) Delete(ns string) (string, error) {
+	if h.opts.Follow != "" {
+		// Mirror deletes follow leader deletes; a direct one would be undone
+		// (recreated) by the next sync cycle anyway.
+		return "", fmt.Errorf("%w (leader: %s)", ErrNotLeader, h.opts.Follow)
+	}
+	return h.remove(ns)
+}
+
+// remove unregisters and quarantines a namespace; shared by Delete and the
+// replica sync loop.
+func (h *Host) remove(ns string) (string, error) {
 	h.mu.Lock()
 	s, ok := h.tenants[ns]
 	if !ok {
@@ -358,6 +449,7 @@ func namespaceInfo(ns string, s *Server) NamespaceInfo {
 		Patterns:         len(snap.Model.Patterns),
 		PendingMutations: s.PendingMutations(),
 		ModelSHA256:      snap.ModelSHA256,
+		Role:             s.Role(),
 	}
 }
 
@@ -388,6 +480,10 @@ func (h *Host) Drain() {
 // error.
 func (h *Host) Close() error {
 	h.closeOnce.Do(func() {
+		if h.quit != nil {
+			close(h.quit)
+			<-h.syncDone
+		}
 		h.mu.Lock()
 		h.closed = true
 		tenants := make([]*Server, 0, len(h.tenants))
@@ -423,6 +519,13 @@ func (h *Host) buildRoutes() *http.ServeMux {
 		rg.handle(rt.pattern("/v2/graphs/{ns}"), h.forNamespace(rt))
 		rg.handle(rt.pattern("/v1"), h.v1Alias(rt))
 	}
+	// Replication is fleet plumbing: v2-only, never aliased onto the frozen
+	// /v1 surface. Promote is host-level — it restarts the tenant, which only
+	// the registry can do.
+	for _, rt := range replicationRoutes {
+		rg.handle(rt.pattern("/v2/graphs/{ns}"), h.forNamespace(rt))
+	}
+	rg.handle("POST /v2/graphs/{ns}/replication/promote", h.handlePromote)
 	mux := rg.finish()
 	h.routes = rg.routes
 	return mux
@@ -439,22 +542,38 @@ func (h *Host) forNamespace(rt tenantRoute) http.HandlerFunc {
 			writeError(w, http.StatusNotFound, CodeNamespaceNotFound, "namespace %q not found", ns)
 			return
 		}
+		if rt.ep == epMutations && h.opts.ProxyWrites && s.Role() == RoleFollower {
+			h.proxyMutations(w, r, ns)
+			return
+		}
 		s.timed(rt.ep, rt.handler(s))(w, r)
 	}
 }
 
+// v1AliasSunset is the RFC 8594 Sunset date on every /v1 alias response:
+// the instant after which the alias may stop answering. A fixed date (not
+// now()+offset) keeps the header byte-stable across responses so clients
+// and caches see one consistent deadline.
+const v1AliasSunset = "Sun, 01 Aug 2027 00:00:00 GMT"
+
 // v1Alias serves the flat pre-tenancy surface against the default
-// namespace, marked deprecated per RFC 9745: same handlers, same bytes, so
-// a v1 client observes zero change beyond the headers steering it to v2.
+// namespace, marked deprecated per RFC 9745 with an RFC 8594 Sunset date:
+// same handlers, same bytes, so a v1 client observes zero change beyond
+// the headers steering it to v2.
 func (h *Host) v1Alias(rt tenantRoute) http.HandlerFunc {
 	successor := `</v2/graphs/` + DefaultNamespace + rt.suffix + `>; rel="successor-version"`
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", v1AliasSunset)
 		w.Header().Set("Link", successor)
 		s, ok := h.Tenant(DefaultNamespace)
 		if !ok {
 			writeError(w, http.StatusNotFound, CodeNamespaceNotFound,
 				"namespace %q not found (the /v1 alias serves it; create it or use /v2)", DefaultNamespace)
+			return
+		}
+		if rt.ep == epMutations && h.opts.ProxyWrites && s.Role() == RoleFollower {
+			h.proxyMutations(w, r, DefaultNamespace)
 			return
 		}
 		s.timed(rt.ep, rt.handler(s))(w, r)
@@ -505,7 +624,7 @@ func (h *Host) handleCreateNamespace(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrNamespaceLimit):
 			writeError(w, http.StatusTooManyRequests, CodeNamespaceLimit, "%v", err)
 		case errors.Is(err, ErrHostClosed):
-			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+			writeUnavailable(w, "%v", err)
 		default:
 			writeError(w, http.StatusInternalServerError, CodeInternal, "create namespace: %v", err)
 		}
@@ -518,12 +637,211 @@ func (h *Host) handleDeleteNamespace(w http.ResponseWriter, r *http.Request) {
 	ns := r.PathValue("ns")
 	dst, err := h.Delete(ns)
 	if err != nil {
-		if errors.Is(err, ErrNamespaceNotFound) {
+		switch {
+		case errors.Is(err, ErrNamespaceNotFound):
 			writeError(w, http.StatusNotFound, CodeNamespaceNotFound, "%v", err)
-			return
+		case errors.Is(err, ErrNotLeader):
+			writeError(w, http.StatusConflict, CodeNotLeader, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, "delete namespace: %v", err)
 		}
-		writeError(w, http.StatusInternalServerError, CodeInternal, "delete namespace: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DeleteNamespaceResponse{Name: ns, QuarantinedTo: dst})
+}
+
+// ---------------------------------------------------------------------------
+// Replica-host fleet membership.
+
+func (h *Host) followClient() *http.Client {
+	if h.opts.FollowClient != nil {
+		return h.opts.FollowClient
+	}
+	return http.DefaultClient
+}
+
+func (h *Host) followPoll() time.Duration {
+	if h.opts.FollowPoll > 0 {
+		return h.opts.FollowPoll
+	}
+	return defaultFollowPoll
+}
+
+// followSyncLoop keeps the replica's namespace SET aligned with the
+// leader's. Individual tenants pull their own data; this loop only handles
+// membership — leader creates appear as local followers, leader deletes
+// quarantine the local mirror. A failed cycle (leader unreachable) is
+// skipped wholesale: an empty list that is really an error must never read
+// as "delete everything".
+func (h *Host) followSyncLoop() {
+	defer close(h.syncDone)
+	t := time.NewTicker(h.followPoll())
+	defer t.Stop()
+	for {
+		select {
+		case <-h.quit:
+			return
+		case <-t.C:
+		}
+		_ = h.syncFollowers() // transient; retried next tick
+	}
+}
+
+// syncFollowers runs one membership sync against the leader's namespace
+// list.
+func (h *Host) syncFollowers() error {
+	resp, err := h.followClient().Get(h.opts.Follow + "/v2/graphs")
+	if err != nil {
+		return err
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	resp.Body.Close()
+	if rerr != nil {
+		return rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: leader namespace list: status %d", resp.StatusCode)
+	}
+	var list NamespacesResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		return fmt.Errorf("serve: leader namespace list: %w", err)
+	}
+	want := make(map[string]bool, len(list.Namespaces))
+	for _, info := range list.Namespaces {
+		want[info.Name] = true
+	}
+	var firstErr error
+	for _, info := range list.Namespaces {
+		h.mu.RLock()
+		_, live := h.tenants[info.Name]
+		h.mu.RUnlock()
+		if live {
+			continue
+		}
+		if _, err := h.create(info.Name, nil, nil, true); err != nil && !errors.Is(err, ErrNamespaceExists) && firstErr == nil {
+			firstErr = fmt.Errorf("serve: follow namespace %q: %w", info.Name, err)
+		}
+	}
+	// Only FOLLOWER tenants absent from the leader are removed: a tenant
+	// promoted out of follower role is an operator decision this loop must
+	// never undo.
+	h.mu.RLock()
+	var gone []string
+	for ns, s := range h.tenants {
+		if !want[ns] && s.Role() == RoleFollower {
+			gone = append(gone, ns)
+		}
+	}
+	h.mu.RUnlock()
+	for _, ns := range gone {
+		if _, err := h.remove(ns); err != nil && !errors.Is(err, ErrNamespaceNotFound) && firstErr == nil {
+			firstErr = fmt.Errorf("serve: drop namespace %q: %w", ns, err)
+		}
+	}
+	return firstErr
+}
+
+// proxyMutations forwards a mutation POST hitting a follower tenant to the
+// same namespace on the leader and streams the answer back verbatim, so a
+// naive client pointed at any fleet member still lands its writes.
+func (h *Host) proxyMutations(w http.ResponseWriter, r *http.Request, ns string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "read mutation body: %v", err)
+		return
+	}
+	url := h.opts.Follow + "/v2/graphs/" + ns + "/mutations"
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "proxy mutations: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.followClient().Do(req)
+	if err != nil {
+		writeUnavailable(w, "leader %s unreachable: %v", h.opts.Follow, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, io.LimitReader(resp.Body, maxRequestBody))
+}
+
+// Promote turns the named FOLLOWER tenant into a leader: the follower is
+// closed and restarted in standby mode on its own mirrored directories, so
+// the restart replays every mirrored-but-unfolded WAL batch on top of the
+// installed checkpoint — promotion loses no batch the old leader
+// acknowledged and shipped. The promoted tenant keeps serving (and now
+// accepts writes) under the same namespace.
+func (h *Host) Promote(ns string) (*Server, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrHostClosed
+	}
+	s, ok := h.tenants[ns]
+	if !ok || h.creating[ns] {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNamespaceNotFound, ns)
+	}
+	if s.Role() != RoleFollower {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q has role %s", ErrNotFollower, ns, s.Role())
+	}
+	// The creating flag keeps a concurrent promote (or create race) out of
+	// this namespace while its server is down.
+	h.creating[ns] = true
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.creating, ns)
+		h.mu.Unlock()
+	}()
+	if err := s.Close(); err != nil {
+		return nil, fmt.Errorf("serve: promote %q: close follower: %w", ns, err)
+	}
+	promoted, err := h.startTenant(ns, nil, nil, true, false)
+	if err != nil {
+		// The follower is gone and the promotion failed: unregister so the
+		// namespace reads as down rather than serving a closed tenant.
+		h.mu.Lock()
+		delete(h.tenants, ns)
+		h.mu.Unlock()
+		return nil, fmt.Errorf("serve: promote %q: %w", ns, err)
+	}
+	h.mu.Lock()
+	h.tenants[ns] = promoted
+	h.mu.Unlock()
+	return promoted, nil
+}
+
+// handlePromote is POST /v2/graphs/{ns}/replication/promote.
+func (h *Host) handlePromote(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	s, err := h.Promote(ns)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNamespaceNotFound):
+			writeError(w, http.StatusNotFound, CodeNamespaceNotFound, "%v", err)
+		case errors.Is(err, ErrNotFollower):
+			writeError(w, http.StatusConflict, CodeNotFollower, "%v", err)
+		case errors.Is(err, ErrHostClosed):
+			writeUnavailable(w, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, "promote: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{
+		Name:            ns,
+		Role:            s.Role(),
+		Generation:      s.Snapshot().Generation,
+		ReplayedBatches: s.Recovery().ReplayedBatches,
+	})
 }

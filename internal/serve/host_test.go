@@ -237,6 +237,9 @@ func TestHostWedgedWALIsolatesTenant(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable || env.Code != CodeUnavailable {
 		t.Fatalf("wedged tenant mutation = %d %+v, want 503 %s", resp.StatusCode, env, CodeUnavailable)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 unavailable envelope without a Retry-After header")
+	}
 
 	// The wedged tenant still answers queries from its last good snapshot.
 	var pats PatternsResponse
@@ -533,6 +536,13 @@ func TestV1AliasServesDefaultByteForByte(t *testing.T) {
 		if hdr.Get("Deprecation") != "true" {
 			t.Errorf("GET %s over the alias: no Deprecation header", p)
 		}
+		// RFC 8594: the Sunset date must parse as an HTTP date and agree with
+		// the pinned retirement instant.
+		if sunset := hdr.Get("Sunset"); sunset != v1AliasSunset {
+			t.Errorf("GET %s over the alias: Sunset = %q, want %q", p, sunset, v1AliasSunset)
+		} else if _, err := http.ParseTime(sunset); err != nil {
+			t.Errorf("GET %s over the alias: Sunset %q is not an HTTP date: %v", p, sunset, err)
+		}
 		if link := hdr.Get("Link"); !strings.Contains(link, "/v2/graphs/default") ||
 			!strings.Contains(link, `rel="successor-version"`) {
 			t.Errorf("GET %s over the alias: Link = %q, want a /v2/graphs/default successor-version", p, link)
@@ -544,6 +554,9 @@ func TestV1AliasServesDefaultByteForByte(t *testing.T) {
 		}
 		if v2hdr.Get("Deprecation") != "" {
 			t.Errorf("/v2 route carries a Deprecation header")
+		}
+		if v2hdr.Get("Sunset") != "" {
+			t.Errorf("/v2 route carries a Sunset header")
 		}
 	}
 }
@@ -723,6 +736,30 @@ func TestHostErrorEnvelopes(t *testing.T) {
 	if resp2.StatusCode != http.StatusNotFound || env2.Code != CodeNamespaceNotFound {
 		t.Fatalf("alias without default = %d %+v, want 404 %s", resp2.StatusCode, env2, CodeNamespaceNotFound)
 	}
+
+	// Create against a closed host: 503 unavailable, and — like every 503
+	// envelope — with a Retry-After hint.
+	if err := h2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp3 := func() *http.Response {
+		r, err := http.Post(hs2.URL+"/v2/graphs/late", "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	defer resp3.Body.Close()
+	var env3 ErrorJSON
+	if err := json.NewDecoder(resp3.Body).Decode(&env3); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusServiceUnavailable || env3.Code != CodeUnavailable {
+		t.Fatalf("create on a closed host = %d %+v, want 503 %s", resp3.StatusCode, env3, CodeUnavailable)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Fatal("503 unavailable envelope without a Retry-After header")
+	}
 }
 
 // TestHostCreateViaHTTP exercises the admin surface end to end: upload a
@@ -784,5 +821,60 @@ func TestHostCreateViaHTTP(t *testing.T) {
 	respDel.Body.Close()
 	if respDel.StatusCode != http.StatusOK || del.QuarantinedTo == "" {
 		t.Fatalf("delete = %d %+v, want 200 with a quarantine path", respDel.StatusCode, del)
+	}
+}
+
+// TestQuarantineDeleteRestartRecreateDelete: the quarantine destination is
+// probed on DISK, not derived from in-memory state — so a namespace deleted,
+// re-created after a host restart (which forgets the first quarantine), and
+// deleted again lands in a fresh <ns>.<n> slot instead of colliding with the
+// first tree's rename target.
+func TestQuarantineDeleteRestartRecreateDelete(t *testing.T) {
+	root := t.TempDir()
+	h := newTestHost(t, HostOptions{RootDir: root})
+	if _, err := h.Create("cycle", testGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	dst1, err := h.Delete("cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the fresh host has no memory of dst1; only the disk does.
+	h2 := newTestHost(t, HostOptions{RootDir: root})
+	if _, err := h2.Create("cycle", testGraphB(t), nil); err != nil {
+		t.Fatalf("re-create after restart: %v", err)
+	}
+	dst2, err := h2.Delete("cycle")
+	if err != nil {
+		t.Fatalf("second delete collided with the restart-forgotten quarantine: %v", err)
+	}
+	if dst2 == dst1 {
+		t.Fatalf("both deletes quarantined to %s — the second clobbered the first", dst1)
+	}
+	// A third cycle on the same (unrestarted) host also finds a free slot.
+	if _, err := h2.Create("cycle", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst3, err := h2.Delete("cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three trees are intact: quarantine never unlinks, never overwrites.
+	for _, dst := range []string{dst1, dst2, dst3} {
+		fi, err := os.Stat(dst)
+		if err != nil || !fi.IsDir() {
+			t.Fatalf("quarantined tree %s missing after later cycles: %v", dst, err)
+		}
+	}
+	// The first two cycles had durable WALs; their quarantined trees must
+	// still hold them (the whole point of quarantine over unlink).
+	for _, dst := range []string{dst1, dst2} {
+		if _, err := os.Stat(filepath.Join(dst, "wal")); err != nil {
+			t.Fatalf("quarantined tree %s lost its WAL subtree: %v", dst, err)
+		}
 	}
 }

@@ -16,12 +16,13 @@ const (
 	epMetrics
 	epMutations
 	epWatch
+	epReplication
 	numEndpoints
 )
 
 // endpointNames are the wire labels of the latency map, in endpoint order.
 var endpointNames = [numEndpoints]string{
-	"patterns", "complete", "model", "healthz", "metrics", "mutations", "watch",
+	"patterns", "complete", "model", "healthz", "metrics", "mutations", "watch", "replication",
 }
 
 // latencyBuckets is the number of finite histogram bounds; one overflow
@@ -106,6 +107,10 @@ type metrics struct {
 	recoveredBatches   atomic.Uint64
 	quarantinedBlobs   atomic.Uint64
 	checksumMismatches atomic.Uint64
+
+	replicationSyncs          atomic.Uint64 // generations a follower verified and swapped in
+	replicationVerifyFailures atomic.Uint64 // shipped artifacts that failed their commitment
+	replicationBytesShipped   atomic.Uint64 // leader-side bytes served to followers
 }
 
 // LatencyJSON is one endpoint's request-latency histogram on the wire:
@@ -160,6 +165,17 @@ type MetricsSnapshot struct {
 	// Latency maps endpoint label → histogram (encoding/json emits map keys
 	// sorted, so the wire order is deterministic).
 	Latency map[string]LatencyJSON `json:"latency"`
+
+	// Replication fleet counters (PR 9). ReplicationLag is leader generations
+	// a follower has seen published but not yet verified and swapped in (0 on
+	// leaders and standalones); ReplicationWALPosition is the last sequence
+	// in this server's log — on a follower, how far the mirror has caught up.
+	ReplicationSyncs          uint64 `json:"replication_syncs"`
+	ReplicationVerifyFailures uint64 `json:"replication_verify_failures"`
+	ReplicationBytesShipped   uint64 `json:"replication_bytes_shipped"`
+	ReplicationLag            uint64 `json:"replication_lag"`
+	ReplicationWALPosition    uint64 `json:"replication_wal_position"`
+	Role                      string `json:"role"`
 }
 
 // Metrics snapshots the server's counters and the served snapshot's
@@ -202,5 +218,21 @@ func (s *Server) Metrics() MetricsSnapshot {
 		RequestsWatch: s.met.watchReqs.Load(),
 		Checkpoints:   s.met.checkpoints.Load(),
 		Latency:       lat,
+
+		ReplicationSyncs:          s.met.replicationSyncs.Load(),
+		ReplicationVerifyFailures: s.met.replicationVerifyFailures.Load(),
+		ReplicationBytesShipped:   s.met.replicationBytesShipped.Load(),
+		ReplicationLag:            s.replicationLag(snap.Generation),
+		ReplicationWALPosition:    s.walPos.Load(),
+		Role:                      s.Role(),
 	}
+}
+
+// replicationLag is how many leader generations a follower trails: the
+// newest generation its leader published minus the one it serves.
+func (s *Server) replicationLag(served uint64) uint64 {
+	if lg := s.lastLeaderGen.Load(); s.opts.Follow != nil && lg > served {
+		return lg - served
+	}
+	return 0
 }

@@ -97,6 +97,14 @@ type Options struct {
 	// namespace's mutation storm queues behind the budget instead of
 	// starving the rest; queries never touch it. Nil is unbounded.
 	Budget *Budget
+	// Follow, when non-nil, makes this server a FOLLOWER: instead of mining
+	// mutations it pulls each generation the named leader publishes, verifies
+	// every shipped artifact against the MANIFEST's SHA-256 commitments, and
+	// mirrors the leader's WAL tail so promotion loses no acknowledged batch.
+	// Followers serve all read endpoints locally and reject mutations with
+	// ErrNotLeader. Requires both WALDir (the mirror log) and PersistDir (the
+	// mirrored checkpoint); incompatible with Standby.
+	Follow *FollowOptions
 }
 
 // defaultRetryBackoff and defaultRetryBackoffMax pace automatic retries of
@@ -123,6 +131,13 @@ func retryDelay(base, max time.Duration, failures uint64) time.Duration {
 	}
 	d := base
 	for i := uint64(1); i < failures && d < max; i++ {
+		// Clamp BEFORE doubling: past max/2 the next doubling would reach or
+		// overshoot max — and for a max above MaxInt64/2 it would overflow
+		// time.Duration negative, escaping a clamp that only checks d > max.
+		if d > max/2 {
+			d = max
+			break
+		}
 		d *= 2
 	}
 	if d > max {
@@ -130,10 +145,13 @@ func retryDelay(base, max time.Duration, failures uint64) time.Duration {
 	}
 	if span := int64(d / 8); span > 0 {
 		h := failures * 0x9E3779B97F4A7C15 // splitmix64 increment: cheap avalanche
-		d += time.Duration(int64(h%uint64(2*span+1)) - span)
-	}
-	if d > max {
-		d = max
+		j := time.Duration(int64(h%uint64(2*span+1)) - span)
+		if j > max-d {
+			// A positive jitter may not push past max; adding first and
+			// clamping after would overflow when d is already near MaxInt64.
+			j = max - d
+		}
+		d += j
 	}
 	return d
 }
@@ -169,6 +187,20 @@ func (o Options) Validate() error {
 	}
 	if o.Standby && o.WALDir == "" && o.PersistDir == "" {
 		return fmt.Errorf("serve: Standby requires WALDir or PersistDir to promote from")
+	}
+	if o.Follow != nil {
+		if o.Follow.Leader == "" {
+			return fmt.Errorf("serve: Follow requires a leader URL")
+		}
+		if o.WALDir == "" || o.PersistDir == "" {
+			return fmt.Errorf("serve: Follow requires WALDir and PersistDir (the mirror log and checkpoint)")
+		}
+		if o.Standby {
+			return fmt.Errorf("serve: Follow and Standby are exclusive (a follower IS a continuously-warmed standby)")
+		}
+		if o.Follow.Poll < 0 {
+			return fmt.Errorf("serve: Follow.Poll must be >= 0, got %v", o.Follow.Poll)
+		}
 	}
 	return nil
 }
@@ -225,6 +257,20 @@ type Server struct {
 	rec          RecoveryStats // what NewServer recovered; fixed at startup
 	ckptModelSum string        // verified checkpoint's model commitment
 
+	// Replication state. walPos shadows the WAL's last appended sequence in
+	// an atomic so metrics and the replication handlers never race the wl
+	// pointer (a follower's resetMirrorWAL swaps it). walTail holds the
+	// unfolded records a leader ships to followers; lastLeaderGen is the
+	// newest generation a follower has seen its leader publish (lag = that
+	// minus the served generation). followCtx cancels every in-flight pull
+	// when the follower closes.
+	tailMu        sync.Mutex
+	walTail       []wal.Record
+	walPos        atomic.Uint64
+	lastLeaderGen atomic.Uint64
+	followCtx     context.Context
+	followCancel  context.CancelFunc
+
 	mu            sync.Mutex
 	closed        bool          // set by Close; rejects further mutation submits
 	pending       []Mutation    // mutations not yet collected into a re-mine batch
@@ -270,6 +316,16 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 	if s.cache == nil {
 		s.cache = shardcache.New(0)
 	}
+	if opts.Follow != nil {
+		// Followers bootstrap from the leader BEFORE recovery: install its
+		// current checkpoint (verified in memory first) if the local mirror
+		// is missing or older, then recover through the exact same
+		// commit-then-verify path a restart of the leader itself would take.
+		s.followCtx, s.followCancel = context.WithCancel(context.Background())
+		if err := s.followBootstrap(); err != nil {
+			return nil, err
+		}
+	}
 	base, gen, err := s.recoverStartup(g)
 	if err != nil {
 		return nil, err
@@ -292,7 +348,7 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 	}
 	snap := newSnapshot(gen, base, model)
 	s.snap.Store(snap)
-	if s.wl != nil && opts.PersistDir != "" {
+	if s.wl != nil && opts.PersistDir != "" && opts.Follow == nil {
 		// Commit the recovered state immediately: replayed batches fold into
 		// a fresh checkpoint and their segments compact away, so the next
 		// restart (or a standby on the same directories) starts clean.
@@ -304,7 +360,11 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 		}
 	}
 	s.mux = s.routes()
-	go s.loop()
+	if opts.Follow != nil {
+		go s.followLoop()
+	} else {
+		go s.loop()
+	}
 	return s, nil
 }
 
@@ -337,6 +397,10 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 	if len(muts) == 0 {
 		return fmt.Errorf("serve: empty mutation batch")
 	}
+	if f := s.opts.Follow; f != nil {
+		s.met.mutationsRejected.Add(uint64(len(muts)))
+		return fmt.Errorf("%w (leader: %s)", ErrNotLeader, f.Leader)
+	}
 	// subMu serialises validate+append+enqueue so WAL order is exactly
 	// mutation-log order — recovery replay then rebuilds the same graph a
 	// crash-free run would have — and so the vertex count each batch is
@@ -368,6 +432,12 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 			return fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		s.met.walAppends.Add(1)
+		s.walPos.Store(seq)
+		if s.replicable() {
+			// Leaders keep the unfolded tail in memory so followers mirror
+			// acknowledged batches without the leader re-reading its own log.
+			s.appendTail(seq, payload)
+		}
 	}
 	s.mu.Lock()
 	s.pending = append(s.pending, muts...)
@@ -481,14 +551,23 @@ func (s *Server) Close() error {
 		s.closed = true
 		s.mu.Unlock()
 		close(s.quit)
+		if s.followCancel != nil {
+			// Abort any in-flight pull so the follow loop notices quit now
+			// instead of after a long-poll lapses.
+			s.followCancel()
+		}
 		<-s.done
-		if s.PendingMutations() > 0 && !s.remine() {
+		// A follower neither mines nor checkpoints at shutdown: the installed
+		// leader checkpoint IS its durable commit (re-marshalling one locally
+		// would re-stamp the leader's fold bookkeeping), and the mirror WAL
+		// already holds every acknowledged batch past it.
+		if s.opts.Follow == nil && s.PendingMutations() > 0 && !s.remine() {
 			s.mu.Lock()
 			s.closeErr = fmt.Errorf("serve: %d acknowledged mutations not mined at shutdown: %w",
 				len(s.pending), s.lastErr)
 			s.mu.Unlock()
 		}
-		if s.opts.PersistDir != "" {
+		if s.opts.PersistDir != "" && s.opts.Follow == nil {
 			if err := s.checkpoint(s.snap.Load()); err != nil && s.closeErr == nil {
 				s.closeErr = err
 			}

@@ -260,6 +260,24 @@ func (n *NamespaceClient) Watch(ctx context.Context, generation uint64, timeout 
 	return out, err
 }
 
+// ReplicationStatus fetches the tenant's replication role, served
+// generation, fold position and WAL position. Works for every role —
+// standalones answer too — so fleet tooling can probe any member.
+func (n *NamespaceClient) ReplicationStatus(ctx context.Context) (serve.ReplicationStatusResponse, error) {
+	var out serve.ReplicationStatusResponse
+	err := n.c.do(ctx, http.MethodGet, n.prefix+"/replication/status", nil, &out)
+	return out, err
+}
+
+// Promote turns a follower tenant into a leader (replaying every mirrored
+// unfolded batch first). Only meaningful against a replica host; anything
+// else answers 409 not_follower.
+func (n *NamespaceClient) Promote(ctx context.Context) (serve.PromoteResponse, error) {
+	var out serve.PromoteResponse
+	err := n.c.do(ctx, http.MethodPost, n.prefix+"/replication/promote", nil, &out)
+	return out, err
+}
+
 // AwaitGeneration polls Watch until the served generation reaches gen or
 // ctx expires — the client-side twin of serve.Server.AwaitGeneration for
 // tests and deploy scripts that need "the fold landed" as a blocking call.

@@ -1,0 +1,154 @@
+package serveclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cspm/internal/serve"
+)
+
+// Fleet is a client over a replicated serve fleet: one leader plus any
+// number of read replicas. Reads round-robin across the replicas (falling
+// back to the leader when every replica is down); writes — mutations,
+// namespace admin, promote — always go to the leader. Replication is
+// asynchronous, so a replica read may trail the leader by a generation;
+// every response names the generation it came from.
+type Fleet struct {
+	leader   *Client
+	replicas []*Client
+	next     atomic.Uint64
+}
+
+// NewFleet builds a fleet client. leaderURL is required; replicaURLs may be
+// empty (reads then go to the leader too). hc nil uses http.DefaultClient
+// for every member.
+func NewFleet(leaderURL string, replicaURLs []string, hc *http.Client) (*Fleet, error) {
+	leader, err := New(leaderURL, hc)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{leader: leader}
+	for _, u := range replicaURLs {
+		r, err := New(u, hc)
+		if err != nil {
+			return nil, err
+		}
+		f.replicas = append(f.replicas, r)
+	}
+	return f, nil
+}
+
+// Leader returns the write-side client.
+func (f *Fleet) Leader() *Client { return f.leader }
+
+// Replicas returns the read-side clients in configuration order, for
+// tooling that must address one member (health probes, promote).
+func (f *Fleet) Replicas() []*Client { return f.replicas }
+
+// Namespace scopes the fleet to one namespace on every member.
+func (f *Fleet) Namespace(ns string) *FleetNamespace {
+	fn := &FleetNamespace{f: f, leader: f.leader.Namespace(ns)}
+	for _, r := range f.replicas {
+		fn.replicas = append(fn.replicas, r.Namespace(ns))
+	}
+	return fn
+}
+
+// FleetNamespace is the per-namespace fleet surface: replica-balanced reads,
+// leader writes.
+type FleetNamespace struct {
+	f        *Fleet
+	leader   *NamespaceClient
+	replicas []*NamespaceClient
+}
+
+// read tries each replica once starting at the round-robin cursor, then the
+// leader. Only TRANSPORT failures fail over: an *APIError means a member
+// answered, and re-asking another member would mask real rejections (a 400
+// is a 400 no matter who answers it).
+func (f *FleetNamespace) read(call func(*NamespaceClient) error) error {
+	if len(f.replicas) == 0 {
+		return call(f.leader)
+	}
+	start := int(f.f.next.Add(1))
+	var firstErr error
+	for i := range f.replicas {
+		r := f.replicas[(start+i)%len(f.replicas)]
+		err := call(r)
+		var ae *APIError
+		if err == nil || errors.As(err, &ae) {
+			return err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := call(f.leader); err == nil {
+		return nil
+	}
+	return fmt.Errorf("serveclient: every fleet member failed, first replica error: %w", firstErr)
+}
+
+// Patterns fetches one page of ranked patterns from a replica.
+func (f *FleetNamespace) Patterns(ctx context.Context, opts PatternsOptions) (serve.PatternsResponse, error) {
+	var out serve.PatternsResponse
+	err := f.read(func(n *NamespaceClient) error {
+		var e error
+		out, e = n.Patterns(ctx, opts)
+		return e
+	})
+	return out, err
+}
+
+// Complete scores attribute completions on a replica.
+func (f *FleetNamespace) Complete(ctx context.Context, req serve.CompleteRequest) (serve.CompleteResponse, error) {
+	var out serve.CompleteResponse
+	err := f.read(func(n *NamespaceClient) error {
+		var e error
+		out, e = n.Complete(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// Model fetches the served model summary from a replica.
+func (f *FleetNamespace) Model(ctx context.Context) (serve.ModelResponse, error) {
+	var out serve.ModelResponse
+	err := f.read(func(n *NamespaceClient) error {
+		var e error
+		out, e = n.Model(ctx)
+		return e
+	})
+	return out, err
+}
+
+// Mutate submits a batch to the LEADER — the only fleet member that accepts
+// writes.
+func (f *FleetNamespace) Mutate(ctx context.Context, muts []serve.Mutation) (serve.MutationsResponse, error) {
+	return f.leader.Mutate(ctx, muts)
+}
+
+// AwaitReplicated blocks until every replica serves generation >= gen (the
+// leader is what published it). Use after a Mutate+Watch on the leader to
+// know the whole fleet answers reads at the new generation.
+func (f *FleetNamespace) AwaitReplicated(ctx context.Context, gen uint64) error {
+	for _, r := range f.replicas {
+		for {
+			w, err := r.Watch(ctx, gen, time.Second)
+			if err != nil {
+				return err
+			}
+			if w.Generation >= gen {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("serveclient: awaiting generation %d on replicas: %w", gen, err)
+			}
+		}
+	}
+	return nil
+}

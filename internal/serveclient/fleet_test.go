@@ -1,0 +1,141 @@
+package serveclient_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cspm/internal/serve"
+	"cspm/internal/serveclient"
+)
+
+// startFleet spins a leader host with one "alpha" tenant plus one live
+// replica following it, both behind real HTTP.
+func startFleet(t *testing.T) (lhs, rhs *httptest.Server) {
+	t.Helper()
+	leader, err := serve.NewHost(serve.HostOptions{RootDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	if _, err := leader.Create("alpha", testGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	lhs = httptest.NewServer(leader)
+	t.Cleanup(lhs.Close)
+	replica, err := serve.NewHost(serve.HostOptions{
+		RootDir:    t.TempDir(),
+		Follow:     lhs.URL,
+		FollowPoll: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	rhs = httptest.NewServer(replica)
+	t.Cleanup(rhs.Close)
+	return lhs, rhs
+}
+
+// TestFleetReadWriteSplit drives the full fleet loop: writes land on the
+// leader, AwaitReplicated observes the ship, and replica-balanced reads
+// answer the new generation.
+func TestFleetReadWriteSplit(t *testing.T) {
+	lhs, rhs := startFleet(t)
+	fleet, err := serveclient.NewFleet(lhs.URL, []string{rhs.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxShort(t)
+	fn := fleet.Namespace("alpha")
+	if err := fn.AwaitReplicated(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	pats, err := fn.Patterns(ctx, serveclient.PatternsOptions{Limit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pats.Generation != 1 || pats.Total == 0 {
+		t.Fatalf("fleet patterns = gen %d, %d total; want generation 1 with patterns", pats.Generation, pats.Total)
+	}
+
+	// A write goes to the leader, folds there, and ships to the replica.
+	if _, err := fn.Mutate(ctx, []serve.Mutation{{Op: serve.OpAddAttr, U: 0, Value: "cancer"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Leader().Namespace("alpha").AwaitGeneration(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.AwaitReplicated(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	lw, err := fleet.Leader().Namespace("alpha").Watch(ctx, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := fn.Model(ctx) // served by the replica
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := fn.Patterns(ctx, serveclient.PatternsOptions{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Generation != lw.Generation || rs.Generation != lw.Generation {
+		t.Fatalf("replica answers gen %d/%d, leader published %d", rm.Generation, rs.Generation, lw.Generation)
+	}
+	rw, err := fleet.Replicas()[0].Namespace("alpha").Watch(ctx, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.ModelSHA256 != lw.ModelSHA256 {
+		t.Fatalf("replica model commitment %s, leader %s", rw.ModelSHA256, lw.ModelSHA256)
+	}
+}
+
+// TestFleetFailoverSemantics pins the read-path error contract: an APIError
+// from a replica is a real answer (no failover may mask it), while a dead
+// replica transparently fails over to the leader.
+func TestFleetFailoverSemantics(t *testing.T) {
+	lhs, rhs := startFleet(t)
+	ctx := ctxShort(t)
+
+	// An answered rejection is returned as-is, not retried elsewhere.
+	fleet, err := serveclient.NewFleet(lhs.URL, []string{rhs.URL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fleet.Namespace("ghost").Patterns(ctx, serveclient.PatternsOptions{})
+	var ae *serveclient.APIError
+	if !errors.As(err, &ae) || ae.Code != serve.CodeNamespaceNotFound {
+		t.Fatalf("unknown namespace read = %v, want an APIError with %s", err, serve.CodeNamespaceNotFound)
+	}
+
+	// A replica that stops answering transport-fails over to the leader.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	fleet2, err := serveclient.NewFleet(lhs.URL, []string{deadURL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := fleet2.Namespace("alpha").Patterns(ctx, serveclient.PatternsOptions{Limit: 10})
+	if err != nil {
+		t.Fatalf("read with a dead replica = %v, want leader fallback", err)
+	}
+	if pats.Generation == 0 {
+		t.Fatalf("leader fallback answered an empty response: %+v", pats)
+	}
+
+	// Every member dead: the error names the first replica failure.
+	fleet3, err := serveclient.NewFleet("http://127.0.0.1:1", []string{deadURL}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet3.Namespace("alpha").Patterns(ctx, serveclient.PatternsOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "every fleet member failed") {
+		t.Fatalf("all-dead fleet read = %v, want the aggregated failure", err)
+	}
+}

@@ -265,6 +265,49 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.err != nil {
 		return 0, l.err
 	}
+	return l.appendLocked(payload)
+}
+
+// AppendAt appends payload under an EXPLICIT sequence number — the API a
+// replica mirrors a leader's log through, where the leader already assigned
+// every sequence and the mirror must reproduce it exactly (promotion replays
+// the mirror against a checkpoint whose folded-batch count lives in the
+// leader's numbering). seq == NextSeq appends normally; seq < NextSeq is a
+// record the mirror already holds and is skipped (false, nil); seq > NextSeq
+// is permitted only on a completely empty log — a fresh replica whose first
+// shipped record continues the leader's checkpoint, not sequence 1 — because
+// anywhere else the jump would write a gap that recovery must refuse as lost
+// acknowledged data.
+func (l *Log) AppendAt(seq uint64, payload []byte) (bool, error) {
+	if seq == 0 {
+		return false, fmt.Errorf("wal: sequence numbers are 1-based")
+	}
+	if len(payload) > MaxRecordBytes {
+		return false, fmt.Errorf("wal: record of %d bytes exceeds the %d byte bound", len(payload), MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return false, l.err
+	}
+	switch {
+	case seq < l.nextSeq:
+		return false, nil
+	case seq == l.nextSeq:
+	case l.nextSeq == 1 && l.curName == "" && len(l.closed) == 0:
+		l.nextSeq = seq
+	default:
+		return false, fmt.Errorf("wal: append at sequence %d would leave a gap after %d", seq, l.nextSeq-1)
+	}
+	if _, err := l.appendLocked(payload); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// appendLocked frames payload under l.nextSeq, writes and fsyncs it. Caller
+// holds l.mu and has checked the sticky error and the payload bound.
+func (l *Log) appendLocked(payload []byte) (uint64, error) {
 	if l.cur == nil || l.curSize >= l.segBytes {
 		if err := l.rollLocked(); err != nil {
 			return 0, l.fail(err)

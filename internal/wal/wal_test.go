@@ -352,3 +352,188 @@ func TestLargePayloadRoundtrip(t *testing.T) {
 		t.Fatal("large payload did not survive the roundtrip")
 	}
 }
+
+func TestCompactEdgeCases(t *testing.T) {
+	t.Run("upTo=0 removes nothing", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, []byte("a"), []byte("b"), []byte("c"))
+		if err := l.Compact(0); err != nil {
+			t.Fatal(err)
+		}
+		if n := l.Segments(); n != 3 {
+			t.Fatalf("Compact(0) left %d segments, want all 3", n)
+		}
+		l.Close()
+		_, recs, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRecords(t, recs, "a", "b", "c")
+	})
+
+	t.Run("upTo beyond last sealed segment keeps the active one", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, []byte("a"), []byte("b"), []byte("c"))
+		// upTo far past NextSeq-1: every sealed segment is covered, but the
+		// active segment (holding record 3) must never be removed — a wedge
+		// or crash before the next roll would otherwise lose its records.
+		if err := l.Compact(1 << 40); err != nil {
+			t.Fatal(err)
+		}
+		if n := l.Segments(); n != 1 {
+			t.Fatalf("Compact far past the end left %d segments, want 1 (active)", n)
+		}
+		l.Close()
+		_, recs, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Seq != 3 || string(recs[0].Payload) != "c" {
+			t.Fatalf("active-segment record lost: %+v, want only seq 3 %q", recs, "c")
+		}
+	})
+
+	t.Run("only the active segment exists", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{}) // default size: nothing ever rolls
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, []byte("a"), []byte("b"))
+		for _, upTo := range []uint64{0, 1, 2, 99} {
+			if err := l.Compact(upTo); err != nil {
+				t.Fatalf("Compact(%d): %v", upTo, err)
+			}
+			if n := l.Segments(); n != 1 {
+				t.Fatalf("Compact(%d) with only an active segment left %d segments, want 1", upTo, n)
+			}
+		}
+		l.Close()
+		_, recs, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRecords(t, recs, "a", "b")
+	})
+
+	t.Run("partially covered sealed segment survives", func(t *testing.T) {
+		dir := t.TempDir()
+		// Two records per segment: seg1={1,2} seg2={3,4} seg3={5} (active).
+		l, _, err := Open(dir, Options{SegmentBytes: 2 * (recordHeader + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, []byte("1"), []byte("2"), []byte("3"), []byte("4"), []byte("5"))
+		// upTo=3 covers seg1 fully but only half of seg2: record 4 is
+		// unacknowledged by the caller's fold, so seg2 must survive.
+		if err := l.Compact(3); err != nil {
+			t.Fatal(err)
+		}
+		if n := l.Segments(); n != 2 {
+			t.Fatalf("Compact(3) left %d segments, want 2 (half-covered + active)", n)
+		}
+		l.Close()
+		_, recs, err := Open(dir, Options{SegmentBytes: 2 * (recordHeader + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 3 || recs[0].Seq != 3 {
+			t.Fatalf("replay after partial compaction: %+v, want seqs 3..5", recs)
+		}
+	})
+}
+
+// appendAt asserts a single AppendAt call's outcome.
+func appendAt(t *testing.T, l *Log, seq uint64, payload string, wantWrote bool) {
+	t.Helper()
+	wrote, err := l.AppendAt(seq, []byte(payload))
+	if err != nil {
+		t.Fatalf("AppendAt(%d, %q): %v", seq, payload, err)
+	}
+	if wrote != wantWrote {
+		t.Fatalf("AppendAt(%d, %q) wrote=%v, want %v", seq, payload, wrote, wantWrote)
+	}
+}
+
+func TestAppendAtMirrorsExplicitSequences(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh mirror may start mid-stream: the leader's checkpoint folded
+	// everything below 7, so the first shipped record is 7.
+	appendAt(t, l, 7, "seven", true)
+	appendAt(t, l, 8, "eight", true)
+	// Re-shipping an already-held record is a silent no-op, not an error.
+	appendAt(t, l, 7, "seven-again", false)
+	appendAt(t, l, 8, "eight-again", false)
+	appendAt(t, l, 9, "nine", true)
+	// A gap would fabricate a hole recovery must refuse as acknowledged loss.
+	if _, err := l.AppendAt(11, []byte("gap")); err == nil {
+		t.Fatal("AppendAt with a sequence gap succeeded")
+	}
+	if _, err := l.AppendAt(0, []byte("zero")); err == nil {
+		t.Fatal("AppendAt(0) succeeded; sequences are 1-based")
+	}
+	if next := l.NextSeq(); next != 10 {
+		t.Fatalf("NextSeq() = %d, want 10", next)
+	}
+	l.Close()
+
+	l2, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	want := []struct {
+		seq uint64
+		pay string
+	}{{7, "seven"}, {8, "eight"}, {9, "nine"}}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i].Seq != w.seq || string(recs[i].Payload) != w.pay {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, recs[i].Seq, recs[i].Payload, w.seq, w.pay)
+		}
+	}
+	// The sequence jump is only legal on a COMPLETELY empty log: after the
+	// reopen the log holds records, so a jump is now a gap.
+	if _, err := l2.AppendAt(20, []byte("jump")); err == nil {
+		t.Fatal("AppendAt jump on a non-empty log succeeded")
+	}
+	// Normal Append interoperates: it continues the mirrored sequence.
+	if got := appendAll(t, l2, []byte("ten"))[0]; got != 10 {
+		t.Fatalf("Append after mirroring got seq %d, want 10", got)
+	}
+}
+
+func TestAppendAtJumpOnlyWhenEmpty(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, []byte("first"))
+	// nextSeq is 2; 3 would leave a gap even though the log was "almost" new.
+	if _, err := l.AppendAt(3, []byte("gap")); err == nil {
+		t.Fatal("AppendAt(3) after one append succeeded")
+	}
+	// seq == NextSeq appends normally.
+	appendAt(t, l, 2, "second", true)
+	// Oversize payloads are rejected without wedging, same as Append.
+	if _, err := l.AppendAt(3, make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversize AppendAt succeeded")
+	}
+	appendAt(t, l, 3, "third", true)
+}

@@ -7,13 +7,16 @@
 #   gates: internal/cspm + internal/invdb                  >= 93%  (the PR 2 level)
 #          internal/graph + internal/shardcache
 #            + internal/shardrpc + internal/serve
-#            + internal/serveclient
+#              (incl. replication.go — the leader/replica
+#               shipping, verify-before-swap and promotion
+#               paths are inside the serve match)
+#            + internal/serveclient (incl. fleet.go)
 #            + internal/wal (and wal/crashfs)
 #            + internal/dynamic                            >= 85%  (subsystem bar:
 #                                                          cache + transport +
-#                                                          serving + API client +
-#                                                          durability + dynamic
-#                                                          graphs)
+#                                                          serving + replication +
+#                                                          API client + durability
+#                                                          + dynamic graphs)
 #
 #   scripts/coverage.sh            # gate at the default thresholds
 #   scripts/coverage.sh 90 80      # custom core / subsystem thresholds
