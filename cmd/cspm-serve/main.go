@@ -26,6 +26,7 @@
 //	           [-standby] [-follow URL] [-follow-poll D] [-proxy-writes]
 //	           [-debounce D] [-remote host:port,...]
 //	           [-remote-timeout D] [-remote-retries N] [-remote-no-fallback]
+//	           [-log-level L] [-log-format text|json] [-debug-addr host:port]
 //	           graph.txt
 //
 // The graph file seeds the "default" namespace; with "-" it is read from
@@ -81,6 +82,8 @@ func main() {
 	flag.StringVar(&cfg.Follow, "follow", "", "replicate every namespace from this leader host URL (requires -root-dir; omit the graph argument)")
 	flag.DurationVar(&cfg.FollowPoll, "follow-poll", 0, "replica pull pacing (0 = default)")
 	flag.BoolVar(&cfg.ProxyWrites, "proxy-writes", false, "forward mutations hitting this replica to the -follow leader instead of rejecting them")
+	flag.StringVar(&cfg.DebugAddr, "debug-addr", "", "serve net/http/pprof on this separate host:port (off when empty)")
+	cfg.Log.Register(flag.CommandLine)
 	drain := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown before force-closing them")
 	flag.Parse()
 	var in io.Reader

@@ -24,6 +24,7 @@ func main() {
 	cfg := cli.WorkerConfig{}
 	flag.StringVar(&cfg.Listen, "listen", ":7421", "host:port to serve shard jobs on")
 	flag.IntVar(&cfg.Workers, "workers", 0, "max concurrently mining jobs (0 = all cores)")
+	cfg.Log.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: cspm-worker [flags]")

@@ -35,6 +35,7 @@ func main() {
 	flag.DurationVar(&cfg.RemoteTimeout, "remote-timeout", 0, "per-attempt wait for a remote shard result (0 = default)")
 	flag.IntVar(&cfg.RemoteRetries, "remote-retries", 0, "re-submissions per shard job before local fallback")
 	flag.BoolVar(&cfg.RemoteNoFallback, "remote-no-fallback", false, "fail instead of mining failed shard jobs locally")
+	cfg.Log.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cspm [flags] graph.txt (or - for stdin)")

@@ -18,13 +18,22 @@ func main() {
 	name := flag.String("dataset", "dblp", "dblp, dblptrend, usflight, pokec, planted, islands or alarms")
 	seed := flag.Int64("seed", 1, "generator seed")
 	nodes := flag.Int("nodes", 0, "node count override (pokec), island count (islands)")
+	var logCfg cli.LogConfig
+	logCfg.Register(flag.CommandLine)
 	flag.Parse()
 
+	logger, err := logCfg.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
 	g, err := cli.Generate(*name, *seed, *nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
+	logger.Debug("dataset generated", "dataset", *name, "seed", *seed,
+		"vertices", g.NumVertices(), "edges", g.NumEdges())
 	header := fmt.Sprintf("dataset=%s seed=%d", *name, *seed)
 	if err := cli.WriteGraph(os.Stdout, g, header); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)

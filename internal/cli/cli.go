@@ -6,10 +6,13 @@ package cli
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -19,11 +22,30 @@ import (
 	"cspm/internal/dataset"
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
+	"cspm/internal/obs"
 	"cspm/internal/serve"
 	"cspm/internal/shardcache"
 	"cspm/internal/shardrpc"
 	"cspm/internal/slim"
 )
+
+// LogConfig mirrors the -log-level and -log-format flags every command
+// shares. The zero value means "info" level in "text" format.
+type LogConfig struct {
+	Level  string // debug, info, warn or error ("" = info)
+	Format string // text or json ("" = text)
+}
+
+// Register installs the shared logging flags on fs.
+func (c *LogConfig) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Level, "log-level", "", "minimum log level: debug, info, warn or error (default info)")
+	fs.StringVar(&c.Format, "log-format", "", "log output format: text or json (default text)")
+}
+
+// Logger validates the config and builds its logger writing to w.
+func (c LogConfig) Logger(w io.Writer) (*slog.Logger, error) {
+	return obs.NewLogger(w, c.Level, c.Format)
+}
 
 // MineConfig mirrors cmd/cspm's flags.
 type MineConfig struct {
@@ -58,6 +80,8 @@ type MineConfig struct {
 	RemoteTimeout    time.Duration
 	RemoteRetries    int
 	RemoteNoFallback bool
+	// Log configures the run's structured diagnostics on stderr.
+	Log LogConfig
 }
 
 // parseRemoteAddrs validates the -remote flag: a comma-separated list of
@@ -98,6 +122,10 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 	// cache directory — before touching the (possibly huge) input, so typos
 	// surface as instant usage errors, never as silent behaviour changes,
 	// panics, or errors minutes into a graph load.
+	logger, err := cfg.Log.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 	strategy, err := parseShardStrategy(cfg.ShardStrategy)
 	if err != nil {
 		return err
@@ -176,6 +204,8 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 	if err != nil {
 		return err
 	}
+	logger.Debug("graph loaded", "vertices", g.NumVertices(), "edges", g.NumEdges())
+	mineStart := time.Now()
 	var model *cspm.Model
 	switch {
 	case remote:
@@ -203,6 +233,8 @@ func Mine(r io.Reader, w io.Writer, cfg MineConfig) error {
 	default:
 		model = cspm.Mine(g)
 	}
+	logger.Debug("mining finished", "patterns", len(model.Patterns),
+		"seconds", time.Since(mineStart).Seconds(), "iterations", model.Iterations)
 	if cfg.Stats {
 		fmt.Fprintf(w, "# graph: %s\n", g.ComputeStats())
 		fmt.Fprintf(w, "# baseline DL: %.1f bits, final DL: %.1f bits (ratio %.3f)\n",
@@ -297,6 +329,8 @@ type WorkerConfig struct {
 	Listen string
 	// Workers caps concurrently mining jobs (0 = all cores).
 	Workers int
+	// Log configures the worker's structured diagnostics on stderr.
+	Log LogConfig
 }
 
 // StartWorker validates cfg, binds the listener, and serves shard jobs in a
@@ -304,6 +338,10 @@ type WorkerConfig struct {
 // port) and a stop function that shuts the worker down. All validation
 // happens before the bind, mirroring Mine's validate-before-load contract.
 func StartWorker(cfg WorkerConfig) (addr string, stop func(), err error) {
+	logger, err := cfg.Log.Logger(os.Stderr)
+	if err != nil {
+		return "", nil, err
+	}
 	if cfg.Listen == "" {
 		return "", nil, fmt.Errorf("-listen must name a host:port to serve on")
 	}
@@ -319,6 +357,7 @@ func StartWorker(cfg WorkerConfig) (addr string, stop func(), err error) {
 	}
 	srv := shardrpc.NewServer(cspm.ExecuteShardJob, cfg.Workers)
 	go srv.Serve(l)
+	logger.Info("worker serving", "role", "worker", "addr", l.Addr().String(), "workers", cfg.Workers)
 	return l.Addr().String(), func() { srv.Close() }, nil
 }
 
@@ -379,6 +418,12 @@ type ServeConfig struct {
 	// ProxyWrites forwards mutations hitting this replica to the leader
 	// instead of rejecting them.
 	ProxyWrites bool
+	// DebugAddr, when non-empty, serves net/http/pprof on a SEPARATE
+	// listener (e.g. "localhost:6060"), so profiling never shares a port —
+	// or an exposure surface — with the public API.
+	DebugAddr string
+	// Log configures the host's structured log on stderr.
+	Log LogConfig
 }
 
 // StartServe validates cfg, reads the initial graph from r (nil skips the
@@ -394,11 +439,20 @@ type ServeConfig struct {
 // happens before the (possibly huge) graph read, mirroring Mine's
 // validate-before-load contract.
 func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(context.Context) error, err error) {
+	logger, err := cfg.Log.Logger(os.Stderr)
+	if err != nil {
+		return "", nil, err
+	}
 	if cfg.Listen == "" {
 		return "", nil, fmt.Errorf("-listen must name a host:port to serve on")
 	}
 	if _, _, err := net.SplitHostPort(cfg.Listen); err != nil {
 		return "", nil, fmt.Errorf("bad -listen address %q (want host:port): %v", cfg.Listen, err)
+	}
+	if cfg.DebugAddr != "" {
+		if _, _, err := net.SplitHostPort(cfg.DebugAddr); err != nil {
+			return "", nil, fmt.Errorf("bad -debug-addr %q (want host:port): %v", cfg.DebugAddr, err)
+		}
 	}
 	if cfg.Debounce < 0 {
 		return "", nil, fmt.Errorf("-debounce must be >= 0, got %v", cfg.Debounce)
@@ -453,6 +507,7 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		Follow:        cfg.Follow,
 		FollowPoll:    cfg.FollowPoll,
 		ProxyWrites:   cfg.ProxyWrites,
+		Logger:        logger,
 	}
 	if err := hostOpts.Validate(); err != nil {
 		return "", nil, err
@@ -503,10 +558,36 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 		closeTransport()
 		return "", nil, err
 	}
+	// The pprof side server binds its own listener so profiling is never
+	// reachable through the public API port.
+	var dsrv *http.Server
+	if cfg.DebugAddr != "" {
+		dl, derr := net.Listen("tcp", cfg.DebugAddr)
+		if derr != nil {
+			l.Close()
+			closeTransport()
+			return "", nil, fmt.Errorf("-debug-addr: %v", derr)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv = &http.Server{Handler: dmux}
+		go dsrv.Serve(dl)
+		logger.Info("pprof debug server listening", "addr", dl.Addr().String())
+	}
+	closeDebug := func() {
+		if dsrv != nil {
+			dsrv.Close()
+		}
+	}
 	var g *graph.Graph
 	if r != nil {
 		if g, err = graph.Load(r); err != nil {
 			l.Close()
+			closeDebug()
 			closeTransport()
 			return "", nil, err
 		}
@@ -514,6 +595,7 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 	host, err := serve.NewHost(hostOpts)
 	if err != nil {
 		l.Close()
+		closeDebug()
 		closeTransport()
 		return "", nil, err
 	}
@@ -525,6 +607,7 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 			if _, err := host.Create(serve.DefaultNamespace, g, defOverride); err != nil {
 				host.Close()
 				l.Close()
+				closeDebug()
 				closeTransport()
 				return "", nil, err
 			}
@@ -532,6 +615,7 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 	} else if g != nil {
 		host.Close()
 		l.Close()
+		closeDebug()
 		closeTransport()
 		return "", nil, fmt.Errorf("the %q namespace was restored from -root-dir; omit the graph argument (its acknowledged state wins) or create a new namespace over /v2", serve.DefaultNamespace)
 	}
@@ -553,6 +637,7 @@ func StartServe(r io.Reader, cfg ServeConfig) (addr string, shutdown func(contex
 			hs.Close()
 		}
 		closeErr := host.Close()
+		closeDebug()
 		closeTransport()
 		if drainErr != nil {
 			return drainErr

@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestLogConfigFlagsAndValidation(t *testing.T) {
+	var cfg LogConfig
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.Register(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lg, err := cfg.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible", "k", "v")
+	if out := buf.String(); !strings.Contains(out, `"msg":"visible"`) {
+		t.Fatalf("json debug logger output = %q", out)
+	}
+	for _, bad := range []LogConfig{
+		{Level: "loud"},
+		{Format: "xml"},
+		{Level: "debug", Format: "yaml"},
+	} {
+		if _, err := bad.Logger(&buf); err == nil {
+			t.Fatalf("invalid log config %+v accepted", bad)
+		}
+	}
+}
+
+// TestLogFlagsValidatedBeforeWork pins that a typo'd -log-level/-log-format
+// fails every entry point instantly — before the input read, the bind, or
+// any graph load.
+func TestLogFlagsValidatedBeforeWork(t *testing.T) {
+	if err := Mine(failingReader{t}, &bytes.Buffer{}, MineConfig{Log: LogConfig{Level: "loud"}}); err == nil {
+		t.Fatal("Mine accepted a bad log level")
+	}
+	if err := Mine(failingReader{t}, &bytes.Buffer{}, MineConfig{Log: LogConfig{Format: "xml"}}); err == nil {
+		t.Fatal("Mine accepted a bad log format")
+	}
+	if _, _, err := StartWorker(WorkerConfig{Listen: "127.0.0.1:0", Log: LogConfig{Level: "loud"}}); err == nil {
+		t.Fatal("StartWorker accepted a bad log level")
+	}
+	for _, cfg := range []ServeConfig{
+		{Listen: "127.0.0.1:0", Log: LogConfig{Level: "loud"}},
+		{Listen: "127.0.0.1:0", Log: LogConfig{Format: "xml"}},
+		{Listen: "127.0.0.1:0", DebugAddr: "no-port"},
+	} {
+		if addr, shutdown, err := StartServe(failingReader{t}, cfg); err == nil {
+			shutdown(context.Background())
+			t.Fatalf("invalid config %+v accepted (bound %s)", cfg, addr)
+		}
+	}
+}
+
+// TestServeDebugAddrServesPprof starts a serve with the pprof side listener
+// and checks the profile index answers on it — and ONLY on it, never on the
+// public API port.
+func TestServeDebugAddrServesPprof(t *testing.T) {
+	// Reserve a port for the debug listener, then release it for StartServe.
+	// (Racy in principle; in practice the port stays free for the
+	// microseconds between Close and the re-bind.)
+	dl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dl.Addr().String()
+	dl.Close()
+
+	addr, shutdown, err := StartServe(strings.NewReader(twoIslandText), ServeConfig{
+		Listen:    "127.0.0.1:0",
+		DebugAddr: debugAddr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(context.Background())
+
+	resp, err := http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index unreachable on -debug-addr: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ on debug addr = %d, want 200", resp.StatusCode)
+	}
+	// The public port must NOT expose pprof.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ on the API port = %d, want 404", resp.StatusCode)
+	}
+
+	// An occupied debug port fails startup like an occupied API port.
+	busy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	if addr, shutdown, err := StartServe(failingReader{t}, ServeConfig{
+		Listen:    "127.0.0.1:0",
+		DebugAddr: busy.Addr().String(),
+	}); err == nil {
+		shutdown(context.Background())
+		t.Fatalf("occupied -debug-addr accepted (bound %s)", addr)
+	}
+}

@@ -4,12 +4,27 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"runtime"
+	"time"
 
 	"cspm/internal/graph"
 	"cspm/internal/invdb"
 	"cspm/internal/mdl"
 	"cspm/internal/shardcache"
 )
+
+// StageObserver receives the wall-clock duration of each internal phase of a
+// cached mine: "fingerprint" (component fingerprinting), "diff" (cache
+// lookup splitting clean from dirty groups), "shard_mine" (mining the dirty
+// shards) and "merge" (exact model merge). The serving layer's re-mine
+// profiler plugs in here; a plain function type (not an Options field) keeps
+// Options gob-encodable for the shardrpc wire.
+type StageObserver func(stage string, d time.Duration)
+
+func (f StageObserver) observe(stage string, since time.Time) {
+	if f != nil {
+		f(stage, time.Since(since))
+	}
+}
 
 // cachedSearchVersion stamps the search fingerprint with the mining
 // algorithm's result format. Bump it whenever a change makes the search
@@ -55,19 +70,29 @@ func searchFingerprint(opts Options) graph.Fingerprint {
 // cache, so the result contract is identical — only the reuse is lost. It
 // panics if opts fails Validate.
 func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *Model {
+	return MineShardedCachedObserved(g, opts, cache, nil)
+}
+
+// MineShardedCachedObserved is MineShardedCached with per-phase timing
+// reported to observe (nil = no observation; the mining result is identical
+// either way).
+func MineShardedCachedObserved(g *graph.Graph, opts Options, cache *shardcache.Cache, observe StageObserver) *Model {
 	if err := opts.Validate(); err != nil {
 		panic(err)
 	}
 	if cache == nil {
 		cache = shardcache.New(0)
 	}
+	t := time.Now()
 	groups := graph.AttrClosedComponents(g)
 	fps := groups.Fingerprints(g)
 	global := graph.GlobalFingerprint(g)
 	search := searchFingerprint(opts)
+	observe.observe("fingerprint", t)
 	st := mdl.NewStandardTable(g)
 	members := groups.Members()
 
+	t = time.Now()
 	entries := make([]*shardcache.Entry, groups.Count)
 	fresh := make([]bool, groups.Count)
 	var dirty []int
@@ -79,9 +104,11 @@ func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *M
 			dirty = append(dirty, gi)
 		}
 	}
+	observe.observe("diff", t)
 
 	evBefore := cache.Stats().Evictions
 	shards := make([]*shardRun, len(dirty))
+	t = time.Now()
 	if len(dirty) > 0 {
 		// Entries must always carry the run diagnostics (a warm replay still
 		// reports Iterations), so dirty runs collect stats unconditionally;
@@ -108,7 +135,9 @@ func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *M
 			entries[gi] = e
 		}
 	}
+	observe.observe("shard_mine", t)
 
+	t = time.Now()
 	m := &Model{Vocab: g.Vocab(), ShardCount: len(dirty)}
 	m.CacheHits = groups.Count - len(dirty)
 	m.CacheMisses = len(dirty)
@@ -128,6 +157,7 @@ func MineShardedCached(g *graph.Graph, opts Options, cache *shardcache.Cache) *M
 		appendShardStats(m, shards[i].stats, i, false)
 	}
 	mergeEntryStats(m, st, entries)
+	observe.observe("merge", t)
 	return m
 }
 

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// NewTraceID mints a 16-hex-char random identifier: the server-generated
+// fallback when a mutation submit carries no X-Request-Id, and a follower's
+// stable identity on replication pulls. 64 random bits is comfortably
+// collision-free within a trace ring's retention window.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the platforms we run on; a zero ID
+		// still traces, it just won't correlate across retries.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

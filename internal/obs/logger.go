@@ -1,0 +1,79 @@
+// Package obs is the serving stack's observability layer: structured
+// component logging (log/slog), mutation lifecycle tracing (bounded
+// per-namespace trace rings keyed by batch sequence), background-pass stage
+// profiling (recent re-mine rings), and Prometheus text exposition for the
+// host-level /metrics endpoint. Everything here is deliberately dependency-
+// free — the serve layer feeds it data and owns the wire formats; obs owns
+// the bounded data structures and the exposition grammar. See DESIGN.md
+// "Observability".
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	// LogText renders one human-readable key=value line per record
+	// (slog.TextHandler).
+	LogText = "text"
+	// LogJSON renders one JSON object per record (slog.JSONHandler), for
+	// log shippers that want machine-parseable fleet logs.
+	LogJSON = "json"
+)
+
+// ParseLevel maps a -log-level flag spelling to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds the component logger behind every -log-level/-log-format
+// flag pair: records at or above level render to w in the given format.
+// Both arguments accept "" for their defaults (info, text). All validation
+// happens here so a typo'd flag fails at startup, not at the first log call.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", LogText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, LogText, LogJSON)
+	}
+}
+
+// discardHandler drops every record. slog.DiscardHandler exists from Go
+// 1.24, but a local handler keeps obs's floor at the module's own go
+// directive rather than the newest stdlib.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error {
+	return nil
+}
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler { return d }
+func (d discardHandler) WithGroup(string) slog.Handler      { return d }
+
+// Nop returns a logger that drops everything: the default wherever an
+// Options.Logger is nil, so call sites never nil-check.
+func Nop() *slog.Logger { return slog.New(discardHandler{}) }

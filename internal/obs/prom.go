@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-format (version 0.0.4) writer. Only the subset
+// the host /metrics endpoint needs: counter, gauge, and histogram families
+// with pre-computed samples. The caller is responsible for ordering —
+// families and samples render exactly in the order given, which is what
+// makes the exposition golden-testable.
+
+// PromContentType is the Content-Type for text-format exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition line within a family.
+type Sample struct {
+	// Suffix is appended to the family name — "" for plain counters and
+	// gauges, "_bucket"/"_sum"/"_count" for histogram series.
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: a # HELP line, a # TYPE line, then samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge" or "histogram"
+	Samples []Sample
+}
+
+// WriteFamilies renders families in order to w.
+func WriteFamilies(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.Help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type)
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			b.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for j, l := range s.Labels {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabel(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramSamples expands cumulative bucket counts into the _bucket/_sum/
+// _count series Prometheus expects. bounds are the upper bounds (seconds)
+// for each finite bucket; counts must have len(bounds)+1 entries, the last
+// being the overflow bucket. base labels appear on every series, before le.
+func HistogramSamples(base []Label, bounds []float64, counts []uint64, sumSeconds float64) []Sample {
+	out := make([]Sample, 0, len(bounds)+3)
+	var cum uint64
+	for i, ub := range bounds {
+		cum += counts[i]
+		out = append(out, Sample{
+			Suffix: "_bucket",
+			Labels: append(append([]Label(nil), base...), Label{"le", formatValue(ub)}),
+			Value:  float64(cum),
+		})
+	}
+	cum += counts[len(bounds)]
+	out = append(out,
+		Sample{Suffix: "_bucket", Labels: append(append([]Label(nil), base...), Label{"le", "+Inf"}), Value: float64(cum)},
+		Sample{Suffix: "_sum", Labels: append([]Label(nil), base...), Value: sumSeconds},
+		Sample{Suffix: "_count", Labels: append([]Label(nil), base...), Value: float64(cum)},
+	)
+	return out
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Mutation lifecycle stage names. Leader-side stages follow a batch from the
+// HTTP submit through durability; follower-side stages describe the same
+// batch (joined by the shared leader sequence number) as it is mirrored and
+// folded into the replica's served model. The vocabulary is part of the
+// debug-trace wire contract — see DESIGN.md "Observability".
+const (
+	StageSubmitted    = "submitted"              // batch validated and accepted (202 path)
+	StageWALAppended  = "wal_appended"           // fsync'd into the mutation WAL
+	StageRemineStart  = "remine_started"         // background pass picked the batch up
+	StageFolded       = "folded"                 // batch applied to the working graph
+	StagePublished    = "remine_published"       // generation covering the batch swapped in
+	StageCheckpointed = "checkpointed"           // durable checkpoint covers the batch
+	StageReplicated   = "replicated_to_follower" // leader shipped the batch to a follower
+	StageWALMirrored  = "wal_mirrored"           // follower fsync'd the mirrored record
+	StageVerified     = "verified"               // follower verified a covering generation
+	StageSwapped      = "swapped"                // follower began serving the covering generation
+)
+
+// TraceEvent is one timestamped stage transition in a batch's lifecycle.
+type TraceEvent struct {
+	Stage string    `json:"stage"`
+	At    time.Time `json:"at"`
+	// Generation is the model generation associated with the stage, when
+	// one exists (0 for pre-mining stages such as submitted/wal_appended).
+	Generation uint64 `json:"generation,omitempty"`
+	// Note carries stage-specific detail: the follower ID for
+	// replicated_to_follower, the checkpoint path, an error string, …
+	Note string `json:"note,omitempty"`
+}
+
+// Trace is the recorded lifecycle of one accepted mutation batch.
+type Trace struct {
+	// Seq is the batch sequence number — the WAL sequence on durable
+	// servers, a process-local counter otherwise. Followers index mirrored
+	// batches under the leader's sequence, which is what joins the two
+	// halves of a fleet trace.
+	Seq uint64 `json:"seq"`
+	// TraceID is the client-visible request ID (X-Request-Id honored or
+	// server-generated, echoed on the 202). May be empty for batches
+	// re-seeded from the WAL after a restart.
+	TraceID string `json:"trace_id,omitempty"`
+	// Mutations is the number of operations in the batch.
+	Mutations int          `json:"mutations"`
+	Events    []TraceEvent `json:"events"`
+}
+
+// TraceRing records the lifecycle of the last N accepted batches, keyed by
+// sequence number. It is a fixed-size direct-mapped ring: seq s lives in
+// slot s%cap, so a new batch evicts exactly the batch cap sequences older,
+// and Record calls for an evicted sequence are dropped rather than
+// corrupting the newer occupant. All methods are safe for concurrent use.
+type TraceRing struct {
+	mu    sync.Mutex
+	slots []Trace // slot i holds the live trace with Seq%len == i, if any
+	used  []bool
+}
+
+// DefaultTraceCap is the per-namespace ring size serve uses: enough to hold
+// every in-flight batch plus a debugging window of recent history, small
+// enough that a thousand namespaces cost megabytes, not gigabytes.
+const DefaultTraceCap = 256
+
+// NewTraceRing returns a ring holding the most recent capacity batches.
+// capacity <= 0 is normalised to DefaultTraceCap.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceRing{
+		slots: make([]Trace, capacity),
+		used:  make([]bool, capacity),
+	}
+}
+
+// Start registers a new batch and records its first event. If the slot
+// holds an older trace it is evicted; a Start for a sequence older than the
+// current occupant is ignored (stale replays must not clobber live traces).
+func (r *TraceRing) Start(seq uint64, traceID string, mutations int, stage string, gen uint64, note string) {
+	ev := TraceEvent{Stage: stage, At: time.Now().UTC(), Generation: gen, Note: note}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := int(seq % uint64(len(r.slots)))
+	if r.used[i] && r.slots[i].Seq > seq {
+		return
+	}
+	r.used[i] = true
+	r.slots[i] = Trace{
+		Seq:       seq,
+		TraceID:   traceID,
+		Mutations: mutations,
+		Events:    append(make([]TraceEvent, 0, 8), ev),
+	}
+}
+
+// Record appends a stage event to the trace for seq. Events for sequences
+// that were never started or have been evicted are dropped silently — the
+// ring is a bounded debugging aid, not an audit log.
+func (r *TraceRing) Record(seq uint64, stage string, gen uint64, note string) {
+	ev := TraceEvent{Stage: stage, At: time.Now().UTC(), Generation: gen, Note: note}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := int(seq % uint64(len(r.slots)))
+	if !r.used[i] || r.slots[i].Seq != seq {
+		return
+	}
+	r.slots[i].Events = append(r.slots[i].Events, ev)
+}
+
+// RecordRange appends a stage event to every live trace with lo < seq <= hi.
+// The half-open interval matches how serve tracks coverage: a re-mine pass
+// covers every batch after the previously covered sequence up to and
+// including the new high-water mark.
+func (r *TraceRing) RecordRange(lo, hi uint64, stage string, gen uint64, note string) {
+	if hi <= lo {
+		return
+	}
+	ev := TraceEvent{Stage: stage, At: time.Now().UTC(), Generation: gen, Note: note}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for seq := lo + 1; seq <= hi; seq++ {
+		i := int(seq % uint64(len(r.slots)))
+		if !r.used[i] || r.slots[i].Seq != seq {
+			continue
+		}
+		r.slots[i].Events = append(r.slots[i].Events, ev)
+	}
+}
+
+// Get returns a copy of the trace for seq, or ok=false if it was never
+// recorded or has been evicted by a newer batch.
+func (r *TraceRing) Get(seq uint64) (Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := int(seq % uint64(len(r.slots)))
+	if !r.used[i] || r.slots[i].Seq != seq {
+		return Trace{}, false
+	}
+	t := r.slots[i]
+	t.Events = append([]TraceEvent(nil), t.Events...)
+	return t, true
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.slots) }

@@ -1,5 +1,7 @@
 package serve
 
+import "sync/atomic"
+
 // Budget is the shared re-mine worker budget of a multi-tenant host: a
 // counting semaphore every tenant's mining passes acquire a slot from, so a
 // mutation storm in one namespace queues behind the budget instead of
@@ -12,6 +14,37 @@ package serve
 // single-tenant server always has.
 type Budget struct {
 	sem chan struct{}
+
+	// Utilization counters for host metrics: without them the shared
+	// semaphore is invisible and a starved tenant can't be diagnosed.
+	acquired atomic.Uint64 // lifetime successful acquisitions
+	waiting  atomic.Int64  // goroutines currently blocked in acquire
+}
+
+// BudgetStats is a point-in-time view of the budget for monitoring.
+type BudgetStats struct {
+	Slots        int    // capacity (0 = unbounded)
+	InUse        int    // slots currently held
+	Waiters      int    // mining passes blocked waiting for a slot
+	Acquisitions uint64 // lifetime successful acquisitions
+}
+
+// Stats snapshots the budget's utilization. Values are independently
+// loaded, so the snapshot is approximate under concurrency — fine for
+// monitoring.
+func (b *Budget) Stats() BudgetStats {
+	if b == nil {
+		return BudgetStats{}
+	}
+	st := BudgetStats{
+		Slots:        b.Slots(),
+		InUse:        b.InUse(),
+		Acquisitions: b.acquired.Load(),
+	}
+	if w := b.waiting.Load(); w > 0 {
+		st.Waiters = int(w)
+	}
+	return st
 }
 
 // NewBudget returns a budget of the given number of concurrent re-mine
@@ -45,10 +78,17 @@ func (b *Budget) Slots() int {
 // deadlock — the longest wait is the sum of the other tenants' in-flight
 // mining passes.
 func (b *Budget) acquire() {
-	if b == nil || b.sem == nil {
+	if b == nil {
 		return
 	}
+	if b.sem == nil {
+		b.acquired.Add(1)
+		return
+	}
+	b.waiting.Add(1)
 	b.sem <- struct{}{}
+	b.waiting.Add(-1)
+	b.acquired.Add(1)
 }
 
 // release frees the slot taken by acquire.

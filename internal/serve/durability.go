@@ -15,6 +15,7 @@ import (
 
 	icspm "cspm/internal/cspm"
 	"cspm/internal/graph"
+	"cspm/internal/obs"
 	"cspm/internal/shardcache"
 	"cspm/internal/wal"
 )
@@ -421,6 +422,7 @@ func (s *Server) checkpoint(snap *Snapshot) error {
 	}
 	s.mu.Lock()
 	folded, foldedMuts := s.foldedBatches, s.minedSeq
+	ckptLo, ckptHi := s.ckptTrace, s.foldedTrace
 	s.mu.Unlock()
 	man := &shardcache.Manifest{
 		Generation:      snap.Generation,
@@ -444,5 +446,13 @@ func (s *Server) checkpoint(snap *Snapshot) error {
 	// shipped, so the in-memory tail sheds it too.
 	s.pruneTail(folded)
 	s.met.checkpoints.Add(1)
+	s.lastCkptGen.Store(man.Generation)
+	s.mu.Lock()
+	if ckptHi > s.ckptTrace {
+		s.ckptTrace = ckptHi
+	}
+	s.mu.Unlock()
+	s.traces.RecordRange(ckptLo, ckptHi, obs.StageCheckpointed, man.Generation, "")
+	s.log.Debug("checkpoint committed", "gen", man.Generation, "folded_batches", folded)
 	return nil
 }

@@ -44,6 +44,9 @@ const (
 	// CodeNotReplicable rejects a replication pull from a server without
 	// durable state to ship — no checkpoint dir, or still mid-startup (409).
 	CodeNotReplicable = "not_replicable"
+	// CodeTraceNotFound marks a /debug/trace/{seq} whose batch was never
+	// submitted here or has been evicted from the bounded trace ring (404).
+	CodeTraceNotFound = "trace_not_found"
 )
 
 // unavailableRetryAfter is the Retry-After hint on every 503 envelope: long

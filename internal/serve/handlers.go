@@ -12,6 +12,7 @@ import (
 
 	"cspm/internal/completion"
 	"cspm/internal/graph"
+	"cspm/internal/obs"
 )
 
 // Wire types of the /v1 JSON API. Struct field ORDER is part of the
@@ -100,11 +101,16 @@ type MutationsRequest struct {
 
 // MutationsResponse acknowledges an accepted batch: how many mutations were
 // appended, the total backlog the served snapshot does not cover yet, and
-// the generation still being served (the re-mine is asynchronous).
+// the generation still being served (the re-mine is asynchronous). Batch and
+// TraceID (PR 10) identify the batch for /debug/trace/{seq}: Batch is the
+// WAL sequence on durable servers, and TraceID echoes the request's
+// X-Request-Id (server-minted when the client sent none).
 type MutationsResponse struct {
 	Accepted   int    `json:"accepted"`
 	Pending    int    `json:"pending"`
 	Generation uint64 `json:"generation"`
+	Batch      uint64 `json:"batch"`
+	TraceID    string `json:"trace_id"`
 }
 
 // HealthResponse is the GET /v1/healthz payload.
@@ -413,7 +419,14 @@ func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "bad request body: %v", err)
 		return
 	}
-	if err := s.SubmitMutations(req.Mutations); err != nil {
+	// Honor the client's request ID so its own logs join the trace; mint
+	// one otherwise. Echoed on the 202 either way.
+	traceID := r.Header.Get("X-Request-Id")
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	seq, err := s.submit(req.Mutations, traceID)
+	if err != nil {
 		if errors.Is(err, ErrUnavailable) {
 			// The batch was well-formed but could not be made durable: the
 			// client should retry against a recovered server, so this is a
@@ -431,10 +444,13 @@ func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "%v", err)
 		return
 	}
+	w.Header().Set("X-Request-Id", traceID)
 	writeJSON(w, http.StatusAccepted, MutationsResponse{
 		Accepted:   len(req.Mutations),
 		Pending:    s.PendingMutations(),
 		Generation: s.snap.Load().Generation,
+		Batch:      seq,
+		TraceID:    traceID,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"cspm/internal/graph"
+	"cspm/internal/obs"
 	"cspm/internal/shardcache"
 	"cspm/internal/wal"
 )
@@ -81,6 +83,10 @@ type HostOptions struct {
 	// leader instead of answering 409 not_leader, so naive clients can
 	// point at any fleet member. The response streams back verbatim.
 	ProxyWrites bool
+	// Logger receives the host's structured lifecycle log (namespace
+	// creates, deletes, recoveries, promotions) and, extended with an "ns"
+	// attribute, each tenant's log. nil discards everything.
+	Logger *slog.Logger
 }
 
 // Validate sanity-checks the options.
@@ -153,6 +159,7 @@ type Host struct {
 	opts   HostOptions
 	layout wal.Layout
 	budget *Budget
+	log    *slog.Logger
 	mux    *http.ServeMux
 	routes []string
 
@@ -185,8 +192,12 @@ func NewHost(opts HostOptions) (*Host, error) {
 		opts:     opts,
 		layout:   wal.Layout{Root: opts.RootDir},
 		budget:   NewBudget(opts.MineBudget),
+		log:      opts.Logger,
 		tenants:  make(map[string]*Server),
 		creating: make(map[string]bool),
+	}
+	if h.log == nil {
+		h.log = obs.Nop()
 	}
 	if opts.RootDir != "" {
 		names, err := h.layout.Namespaces()
@@ -201,9 +212,12 @@ func NewHost(opts HostOptions) (*Host, error) {
 			switch {
 			case err == nil:
 				h.tenants[ns] = s
+				h.log.Info("namespace recovered", "ns", ns, "role", s.Role(),
+					"gen", s.Snapshot().Generation, "replayed_batches", s.Recovery().ReplayedBatches)
 			case errors.Is(err, ErrNoDurableState):
 				// Nothing was ever acknowledged under this tree; set it aside
 				// (never unlink — an operator can still inspect it) and move on.
+				h.log.Warn("quarantining dead namespace", "ns", ns)
 				if _, qerr := h.layout.Quarantine(ns); qerr != nil {
 					h.closeTenantsLocked()
 					return nil, fmt.Errorf("serve: quarantine dead namespace %q: %w", ns, qerr)
@@ -266,6 +280,9 @@ func (h *Host) startTenant(ns string, g *graph.Graph, override *Options, standby
 		}
 	}
 	opts.Budget = h.budget
+	if opts.Logger == nil && h.opts.Logger != nil {
+		opts.Logger = h.opts.Logger.With("ns", ns)
+	}
 	if standby {
 		opts.Standby = true
 	}
@@ -371,6 +388,7 @@ func (h *Host) create(ns string, g *graph.Graph, override *Options, follow bool)
 	}
 	h.tenants[ns] = s
 	h.mu.Unlock()
+	h.log.Info("namespace created", "ns", ns, "role", s.Role(), "gen", s.Snapshot().Generation)
 	return s, nil
 }
 
@@ -412,9 +430,14 @@ func (h *Host) remove(ns string) (string, error) {
 		return dst, err
 	}
 	if h.opts.RootDir == "" {
+		h.log.Info("namespace deleted", "ns", ns)
 		return "", nil
 	}
-	return h.layout.Quarantine(ns)
+	dst, qerr := h.layout.Quarantine(ns)
+	if qerr == nil {
+		h.log.Info("namespace deleted", "ns", ns, "quarantined_to", dst)
+	}
+	return dst, qerr
 }
 
 // Tenant returns the named namespace's server.
@@ -519,13 +542,18 @@ func (h *Host) buildRoutes() *http.ServeMux {
 		rg.handle(rt.pattern("/v2/graphs/{ns}"), h.forNamespace(rt))
 		rg.handle(rt.pattern("/v1"), h.v1Alias(rt))
 	}
-	// Replication is fleet plumbing: v2-only, never aliased onto the frozen
-	// /v1 surface. Promote is host-level — it restarts the tenant, which only
-	// the registry can do.
+	// Replication and debug are fleet plumbing: v2-only, never aliased onto
+	// the frozen /v1 surface. Promote is host-level — it restarts the tenant,
+	// which only the registry can do.
 	for _, rt := range replicationRoutes {
 		rg.handle(rt.pattern("/v2/graphs/{ns}"), h.forNamespace(rt))
 	}
+	for _, rt := range debugRoutes {
+		rg.handle(rt.pattern("/v2/graphs/{ns}"), h.forNamespace(rt))
+	}
 	rg.handle("POST /v2/graphs/{ns}/replication/promote", h.handlePromote)
+	// Host-level Prometheus exposition: one scrape covers every tenant.
+	rg.handle("GET /metrics", h.handlePromMetrics)
 	mux := rg.finish()
 	h.routes = rg.routes
 	return mux
@@ -582,6 +610,33 @@ func (h *Host) v1Alias(rt tenantRoute) http.HandlerFunc {
 
 func (h *Host) handleListNamespaces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, NamespacesResponse{Namespaces: h.Namespaces()})
+}
+
+// handlePromMetrics is GET /metrics: the whole fleet member in one
+// Prometheus text-format scrape — every tenant's counters under
+// {namespace,role} labels plus the shared mine budget.
+func (h *Host) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	names := make([]string, 0, len(h.tenants))
+	servers := make([]*Server, 0, len(h.tenants))
+	for ns, s := range h.tenants {
+		names = append(names, ns)
+		servers = append(servers, s)
+	}
+	h.mu.RUnlock()
+	// Snapshot outside the registry lock: Metrics() walks atomic counters
+	// but must never hold up creates and deletes.
+	tenants := make([]PromTenant, len(names))
+	for i := range names {
+		tenants[i] = PromTenant{Namespace: names[i], Metrics: servers[i].Metrics()}
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, tenants, h.budget.Stats()); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "render metrics: %v", err)
+		return
+	}
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (h *Host) handleNamespaceInfo(w http.ResponseWriter, r *http.Request) {
@@ -757,6 +812,11 @@ func (h *Host) proxyMutations(w http.ResponseWriter, r *http.Request, ns string)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The trace ID rides the proxy hop both ways, so the client's
+	// X-Request-Id names the same trace on the leader.
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
 	resp, err := h.followClient().Do(req)
 	if err != nil {
 		writeUnavailable(w, "leader %s unreachable: %v", h.opts.Follow, err)
@@ -768,6 +828,9 @@ func (h *Host) proxyMutations(w http.ResponseWriter, r *http.Request, ns string)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	if id := resp.Header.Get("X-Request-Id"); id != "" {
+		w.Header().Set("X-Request-Id", id)
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, io.LimitReader(resp.Body, maxRequestBody))
@@ -818,6 +881,8 @@ func (h *Host) Promote(ns string) (*Server, error) {
 	h.mu.Lock()
 	h.tenants[ns] = promoted
 	h.mu.Unlock()
+	h.log.Info("namespace promoted", "ns", ns, "gen", promoted.Snapshot().Generation,
+		"replayed_batches", promoted.Recovery().ReplayedBatches)
 	return promoted, nil
 }
 

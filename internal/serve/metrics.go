@@ -17,12 +17,13 @@ const (
 	epMutations
 	epWatch
 	epReplication
+	epDebug
 	numEndpoints
 )
 
 // endpointNames are the wire labels of the latency map, in endpoint order.
 var endpointNames = [numEndpoints]string{
-	"patterns", "complete", "model", "healthz", "metrics", "mutations", "watch", "replication",
+	"patterns", "complete", "model", "healthz", "metrics", "mutations", "watch", "replication", "debug",
 }
 
 // latencyBuckets is the number of finite histogram bounds; one overflow

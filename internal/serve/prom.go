@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"io"
+	"sort"
+
+	"cspm/internal/obs"
+)
+
+// Prometheus exposition of the host's fleet state (PR 10). The JSON
+// /v1/metrics surface stays the pinned wire contract; this file only
+// RE-RENDERS those snapshots as text exposition, so the two views can never
+// disagree about a counter's value. Family and sample order is fully
+// deterministic (fixed family list, tenants sorted by namespace, endpoints
+// sorted by label), which is what lets a golden fixture pin the format.
+
+// PromTenant pairs a namespace with the metrics snapshot to expose for it.
+type PromTenant struct {
+	Namespace string
+	Metrics   MetricsSnapshot
+}
+
+// WritePrometheus renders the fleet's metrics in Prometheus text format
+// (version 0.0.4): per-tenant counters and gauges labelled
+// {namespace,role}, per-endpoint request totals and latency histograms
+// labelled {namespace,role,endpoint}, and the host-level mine-budget
+// gauges. Tenants render sorted by namespace regardless of input order.
+func WritePrometheus(w io.Writer, tenants []PromTenant, budget BudgetStats) error {
+	ts := make([]PromTenant, len(tenants))
+	copy(ts, tenants)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Namespace < ts[j].Namespace })
+
+	perTenant := func(name, typ, help string, v func(MetricsSnapshot) float64) obs.Family {
+		f := obs.Family{Name: name, Help: help, Type: typ}
+		for _, t := range ts {
+			f.Samples = append(f.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: "namespace", Value: t.Namespace}, {Name: "role", Value: t.Metrics.Role}},
+				Value:  v(t.Metrics),
+			})
+		}
+		return f
+	}
+
+	// Per-endpoint request totals and latency histograms come from the same
+	// latency map the JSON surface serves (count == requests handled).
+	reqs := obs.Family{Name: "cspm_requests_total", Help: "Requests handled, by endpoint.", Type: "counter"}
+	durs := obs.Family{Name: "cspm_request_duration_seconds", Help: "Request latency, by endpoint.", Type: "histogram"}
+	for _, t := range ts {
+		eps := make([]string, 0, len(t.Metrics.Latency))
+		for ep := range t.Metrics.Latency {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		for _, ep := range eps {
+			l := t.Metrics.Latency[ep]
+			base := []obs.Label{
+				{Name: "namespace", Value: t.Namespace},
+				{Name: "role", Value: t.Metrics.Role},
+				{Name: "endpoint", Value: ep},
+			}
+			reqs.Samples = append(reqs.Samples, obs.Sample{Labels: base, Value: float64(l.Count)})
+			durs.Samples = append(durs.Samples, obs.HistogramSamples(base, l.UpperBounds, l.Buckets, l.SumSeconds)...)
+		}
+	}
+
+	fams := []obs.Family{
+		{Name: "cspm_namespaces", Help: "Live namespaces on this host.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(len(ts))}}},
+		reqs,
+		durs,
+		perTenant("cspm_bad_requests_total", "counter", "Requests rejected as malformed.",
+			func(m MetricsSnapshot) float64 { return float64(m.BadRequests) }),
+		perTenant("cspm_vertices_scored_total", "counter", "Vertices scored by completion queries.",
+			func(m MetricsSnapshot) float64 { return float64(m.VerticesScored) }),
+		perTenant("cspm_mutations_accepted_total", "counter", "Mutation batches accepted.",
+			func(m MetricsSnapshot) float64 { return float64(m.MutationsAccepted) }),
+		perTenant("cspm_mutations_rejected_total", "counter", "Mutation batches rejected.",
+			func(m MetricsSnapshot) float64 { return float64(m.MutationsRejected) }),
+		perTenant("cspm_pending_mutations", "gauge", "Mutations accepted but not yet folded.",
+			func(m MetricsSnapshot) float64 { return float64(m.PendingMutations) }),
+		perTenant("cspm_remines_total", "counter", "Background re-mine passes published.",
+			func(m MetricsSnapshot) float64 { return float64(m.Remines) }),
+		perTenant("cspm_remine_failures_total", "counter", "Background re-mine passes failed.",
+			func(m MetricsSnapshot) float64 { return float64(m.RemineFailures) }),
+		perTenant("cspm_remine_seconds_total", "counter", "Total time spent re-mining.",
+			func(m MetricsSnapshot) float64 { return m.RemineSecondsTotal }),
+		perTenant("cspm_remine_last_seconds", "gauge", "Duration of the most recent re-mine pass.",
+			func(m MetricsSnapshot) float64 { return m.RemineSecondsLast }),
+		perTenant("cspm_snapshot_generation", "gauge", "Generation of the served snapshot.",
+			func(m MetricsSnapshot) float64 { return float64(m.SnapshotGeneration) }),
+		perTenant("cspm_snapshot_age_seconds", "gauge", "Age of the served snapshot.",
+			func(m MetricsSnapshot) float64 { return m.SnapshotAgeSeconds }),
+		perTenant("cspm_wal_appends_total", "counter", "Mutation batches appended to the WAL.",
+			func(m MetricsSnapshot) float64 { return float64(m.WALAppends) }),
+		perTenant("cspm_wal_append_errors_total", "counter", "WAL appends that failed.",
+			func(m MetricsSnapshot) float64 { return float64(m.WALAppendErrors) }),
+		perTenant("cspm_persist_errors_total", "counter", "Cache persists and checkpoints that failed.",
+			func(m MetricsSnapshot) float64 { return float64(m.PersistErrors) }),
+		perTenant("cspm_checkpoints_total", "counter", "Checkpoints committed.",
+			func(m MetricsSnapshot) float64 { return float64(m.Checkpoints) }),
+		perTenant("cspm_recovered_batches_total", "counter", "WAL batches replayed at startup.",
+			func(m MetricsSnapshot) float64 { return float64(m.RecoveredBatches) }),
+		perTenant("cspm_quarantined_blobs_total", "counter", "Corrupt cache blobs quarantined.",
+			func(m MetricsSnapshot) float64 { return float64(m.QuarantinedBlobs) }),
+		perTenant("cspm_checksum_mismatches_total", "counter", "Checksum mismatches detected on read.",
+			func(m MetricsSnapshot) float64 { return float64(m.ChecksumMismatches) }),
+		perTenant("cspm_replication_syncs_total", "counter", "Generations verified and swapped in by a follower.",
+			func(m MetricsSnapshot) float64 { return float64(m.ReplicationSyncs) }),
+		perTenant("cspm_replication_verify_failures_total", "counter", "Shipped artifacts that failed verification.",
+			func(m MetricsSnapshot) float64 { return float64(m.ReplicationVerifyFailures) }),
+		perTenant("cspm_replication_bytes_shipped_total", "counter", "Bytes served to followers.",
+			func(m MetricsSnapshot) float64 { return float64(m.ReplicationBytesShipped) }),
+		perTenant("cspm_replication_lag", "gauge", "Leader generations published but not yet swapped in.",
+			func(m MetricsSnapshot) float64 { return float64(m.ReplicationLag) }),
+		perTenant("cspm_replication_wal_position", "gauge", "Last sequence in this server's WAL.",
+			func(m MetricsSnapshot) float64 { return float64(m.ReplicationWALPosition) }),
+		{Name: "cspm_mine_budget_slots", Help: "Shared mine budget capacity (0 = unbounded).", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(budget.Slots)}}},
+		{Name: "cspm_mine_budget_in_use", Help: "Mine budget slots currently held.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(budget.InUse)}}},
+		{Name: "cspm_mine_budget_waiters", Help: "Mining passes blocked waiting for a slot.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(budget.Waiters)}}},
+		{Name: "cspm_mine_budget_acquisitions_total", Help: "Lifetime mine budget acquisitions.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(budget.Acquisitions)}}},
+	}
+	return obs.WriteFamilies(w, fams)
+}

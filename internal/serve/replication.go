@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"cspm/internal/graph"
+	"cspm/internal/obs"
 	"cspm/internal/shardcache"
 	"cspm/internal/wal"
 )
@@ -100,13 +102,35 @@ type ReplicationStatusResponse struct {
 	WALPosition   uint64 `json:"wal_position"`
 	// Leader names the upstream a follower pulls from ("" elsewhere).
 	Leader string `json:"leader,omitempty"`
+	// Followers is the leader's view of every replica that has pulled from
+	// it (PR 10): replication lag becomes observable from the leader side,
+	// not just by asking each follower. Absent on followers/standalones.
+	Followers []FollowerStatusJSON `json:"followers,omitempty"`
+}
+
+// FollowerStatusJSON is one replica's fetch state as the leader saw it.
+type FollowerStatusJSON struct {
+	// ID is the follower's self-assigned identity (stable for its lifetime).
+	ID string `json:"id"`
+	// ShippedGeneration is the checkpoint generation committed at the
+	// follower's last manifest fetch — what the follower is syncing toward.
+	ShippedGeneration uint64 `json:"shipped_generation"`
+	// ShippedWALPosition is the highest WAL sequence shipped to this
+	// follower's mirror.
+	ShippedWALPosition uint64 `json:"shipped_wal_position"`
+	// ManifestFetchAgeSeconds / WALFetchAgeSeconds are how long ago the
+	// follower last pulled each surface (-1 = never).
+	ManifestFetchAgeSeconds float64 `json:"manifest_fetch_age_seconds"`
+	WALFetchAgeSeconds      float64 `json:"wal_fetch_age_seconds"`
 }
 
 // ReplicationWALRecord is one shipped WAL record: the leader's sequence
-// number and the framed batch payload, verbatim.
+// number and the framed batch payload, verbatim. TraceID carries the
+// batch's request ID so the follower's mirror trace joins the leader's.
 type ReplicationWALRecord struct {
 	Seq     uint64 `json:"seq"`
 	Payload []byte `json:"payload"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ReplicationWALResponse is the GET /replication/wal?after=N payload: every
@@ -140,6 +164,81 @@ var replicationRoutes = []tenantRoute{
 	{"GET", "/replication/wal", epReplication, func(s *Server) http.HandlerFunc { return s.handleReplWAL }},
 }
 
+// followerIDHeader carries a follower's self-assigned identity on every
+// replication pull, so the leader can account per-follower fetch state.
+const followerIDHeader = "X-CSPM-Follower"
+
+// maxTrackedFollowers bounds the leader's per-follower state map: past the
+// cap the stalest entry is evicted, so a churn of short-lived follower IDs
+// (restarts mint new ones) cannot grow leader memory without bound.
+const maxTrackedFollowers = 64
+
+// followerState is the leader's record of one replica's pulls.
+type followerState struct {
+	lastManifest time.Time
+	lastWAL      time.Time
+	shippedGen   uint64
+	shippedWAL   uint64
+}
+
+// noteFollower updates (creating if needed) the state for the follower named
+// by the request's ID header and returns it still under folMu via the update
+// callback. Requests without the header are anonymous pulls (curl, tests)
+// and are not tracked.
+func (s *Server) noteFollower(r *http.Request, update func(*followerState)) string {
+	id := r.Header.Get(followerIDHeader)
+	if id == "" {
+		return ""
+	}
+	s.folMu.Lock()
+	defer s.folMu.Unlock()
+	fs, ok := s.followers[id]
+	if !ok {
+		if len(s.followers) >= maxTrackedFollowers {
+			stalest, when := "", time.Time{}
+			for fid, f := range s.followers {
+				last := f.lastManifest
+				if f.lastWAL.After(last) {
+					last = f.lastWAL
+				}
+				if stalest == "" || last.Before(when) {
+					stalest, when = fid, last
+				}
+			}
+			delete(s.followers, stalest)
+		}
+		fs = &followerState{}
+		s.followers[id] = fs
+	}
+	update(fs)
+	return id
+}
+
+// followerStatuses snapshots the tracked followers, sorted by ID for a
+// deterministic wire order.
+func (s *Server) followerStatuses() []FollowerStatusJSON {
+	age := func(t time.Time) float64 {
+		if t.IsZero() {
+			return -1
+		}
+		return time.Since(t).Seconds()
+	}
+	s.folMu.Lock()
+	out := make([]FollowerStatusJSON, 0, len(s.followers))
+	for id, f := range s.followers {
+		out = append(out, FollowerStatusJSON{
+			ID:                      id,
+			ShippedGeneration:       f.shippedGen,
+			ShippedWALPosition:      f.shippedWAL,
+			ManifestFetchAgeSeconds: age(f.lastManifest),
+			WALFetchAgeSeconds:      age(f.lastWAL),
+		})
+	}
+	s.folMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	s.mu.Lock()
@@ -153,6 +252,9 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if f := s.opts.Follow; f != nil {
 		st.Leader = f.Leader
+	}
+	if s.replicable() {
+		st.Followers = s.followerStatuses()
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -190,6 +292,11 @@ func (s *Server) handleReplManifest(w http.ResponseWriter, r *http.Request) {
 	if !s.requireShippable(w) {
 		return
 	}
+	shipped := s.lastCkptGen.Load()
+	s.noteFollower(r, func(f *followerState) {
+		f.lastManifest = time.Now()
+		f.shippedGen = shipped
+	})
 	s.shipFile(w, shardcache.ManifestName)
 }
 
@@ -227,20 +334,42 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	s.tailMu.Lock()
 	for _, rec := range s.walTail {
 		if rec.Seq > after {
-			resp.Records = append(resp.Records, ReplicationWALRecord{Seq: rec.Seq, Payload: rec.Payload})
+			resp.Records = append(resp.Records, ReplicationWALRecord{
+				Seq: rec.Seq, Payload: rec.Payload, TraceID: s.tailIDs[rec.Seq],
+			})
 			s.met.replicationBytesShipped.Add(uint64(len(rec.Payload)))
 		}
 	}
 	s.tailMu.Unlock()
+	var hi uint64
+	if n := len(resp.Records); n > 0 {
+		hi = resp.Records[n-1].Seq
+	}
+	fid := s.noteFollower(r, func(f *followerState) {
+		f.lastWAL = time.Now()
+		if hi > f.shippedWAL {
+			f.shippedWAL = hi
+		}
+	})
+	for _, rec := range resp.Records {
+		s.traces.Record(rec.Seq, obs.StageReplicated, 0, fid)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// appendTail records a shipped-able WAL record on the in-memory tail.
+// appendTail records a shipped-able WAL record on the in-memory tail,
+// remembering its trace ID so the ship to a follower carries it.
 // checkpoint() prunes everything a committed manifest folds, so the tail is
 // bounded by the same backlog the WAL's unfolded segments are.
-func (s *Server) appendTail(seq uint64, payload []byte) {
+func (s *Server) appendTail(seq uint64, payload []byte, traceID string) {
 	s.tailMu.Lock()
 	s.walTail = append(s.walTail, wal.Record{Seq: seq, Payload: payload})
+	if traceID != "" {
+		if s.tailIDs == nil {
+			s.tailIDs = make(map[uint64]string)
+		}
+		s.tailIDs[seq] = traceID
+	}
 	s.tailMu.Unlock()
 }
 
@@ -250,6 +379,11 @@ func (s *Server) pruneTail(folded uint64) {
 	i := 0
 	for i < len(s.walTail) && s.walTail[i].Seq <= folded {
 		i++
+	}
+	for seq := range s.tailIDs {
+		if seq <= folded {
+			delete(s.tailIDs, seq)
+		}
 	}
 	s.walTail = append([]wal.Record(nil), s.walTail[i:]...)
 	s.tailMu.Unlock()
@@ -278,6 +412,9 @@ func (s *Server) replGet(path string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Leader+path, nil)
 	if err != nil {
 		return nil, err
+	}
+	if s.followerID != "" {
+		req.Header.Set(followerIDHeader, s.followerID)
 	}
 	hc := f.Client
 	if hc == nil {
@@ -551,6 +688,10 @@ func (s *Server) syncWALTail() error {
 		}
 		if wrote {
 			s.walPos.Store(rec.Seq)
+			// The mirror trace lives under the LEADER's sequence number —
+			// that is the join key a fleet-wide trace query uses.
+			s.traces.Start(rec.Seq, rec.TraceID, 0, obs.StageWALMirrored, 0, "")
+			s.log.Debug("wal record mirrored", "batch", rec.Seq, "trace", rec.TraceID)
 		}
 	}
 	return nil
@@ -636,6 +777,13 @@ func (s *Server) syncGeneration() error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	prevFolded := s.foldedBatches
+	s.mu.Unlock()
+	// Everything between the previous fold and the manifest's is now
+	// verified against the leader's commitments; the swap below starts
+	// serving it.
+	s.traces.RecordRange(prevFolded, man.FoldedBatches, obs.StageVerified, man.Generation, "")
 	snap := newSnapshot(man.Generation, g, model)
 	s.snap.Store(snap)
 	s.met.replicationSyncs.Add(1)
@@ -645,6 +793,8 @@ func (s *Server) syncGeneration() error {
 	s.mutSeq = man.FoldedMutations
 	s.broadcastLocked()
 	s.mu.Unlock()
+	s.traces.RecordRange(prevFolded, man.FoldedBatches, obs.StageSwapped, man.Generation, "")
+	s.log.Info("generation synced", "gen", man.Generation, "folded_batches", man.FoldedBatches)
 	// Mirror segments the installed checkpoint covers are garbage now.
 	return s.wl.Compact(man.FoldedBatches)
 }

@@ -16,6 +16,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"cspm/internal/completion"
 	icspm "cspm/internal/cspm"
 	"cspm/internal/graph"
+	"cspm/internal/obs"
 	"cspm/internal/shardcache"
 	"cspm/internal/shardrpc"
 	"cspm/internal/wal"
@@ -105,6 +107,11 @@ type Options struct {
 	// ErrNotLeader. Requires both WALDir (the mirror log) and PersistDir (the
 	// mirrored checkpoint); incompatible with Standby.
 	Follow *FollowOptions
+	// Logger receives the server's structured component logs (log/slog). A
+	// multi-tenant Host hands every tenant a logger pre-tagged with its
+	// namespace. Nil discards — observability is strictly opt-in and the
+	// zero Options stays silent.
+	Logger *slog.Logger
 }
 
 // defaultRetryBackoff and defaultRetryBackoffMax pace automatic retries of
@@ -257,6 +264,20 @@ type Server struct {
 	rec          RecoveryStats // what NewServer recovered; fixed at startup
 	ckptModelSum string        // verified checkpoint's model commitment
 
+	// Observability (PR 10). log never nil (Nop when unconfigured); traces
+	// records per-batch lifecycle events keyed by batch sequence; profiles
+	// keeps the stage breakdown of recent re-mine passes. followerID is the
+	// identity a follower sends on every replication pull so the leader can
+	// report per-follower state; lastCkptGen is the generation of the last
+	// committed checkpoint (what a replication pull ships).
+	log         *slog.Logger
+	traces      *obs.TraceRing
+	profiles    *obs.ProfileRing
+	followerID  string
+	lastCkptGen atomic.Uint64
+	folMu       sync.Mutex
+	followers   map[string]*followerState
+
 	// Replication state. walPos shadows the WAL's last appended sequence in
 	// an atomic so metrics and the replication handlers never race the wl
 	// pointer (a follower's resetMirrorWAL swaps it). walTail holds the
@@ -266,6 +287,7 @@ type Server struct {
 	// when the follower closes.
 	tailMu        sync.Mutex
 	walTail       []wal.Record
+	tailIDs       map[uint64]string // trace IDs of tail records, shipped to followers
 	walPos        atomic.Uint64
 	lastLeaderGen atomic.Uint64
 	followCtx     context.Context
@@ -281,6 +303,9 @@ type Server struct {
 	consecFails   uint64        // consecutive failed attempts; drives the backoff
 	batchSeq      uint64        // last WAL batch sequence appended or replayed
 	foldedBatches uint64        // WAL batches covered by the published snapshot
+	traceSeq      uint64        // last trace sequence assigned (= batchSeq when a WAL runs)
+	foldedTrace   uint64        // trace sequences covered by the published snapshot
+	ckptTrace     uint64        // trace sequences covered by the last committed checkpoint
 	lastErr       error         // latest re-mine failure, nil after a success
 	notify        chan struct{} // closed and replaced on every publish or failure
 
@@ -305,16 +330,28 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:     opts,
-		cache:    opts.Cache,
-		notify:   make(chan struct{}),
-		wake:     make(chan struct{}, 1),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		draining: make(chan struct{}),
+		opts:      opts,
+		cache:     opts.Cache,
+		log:       opts.Logger,
+		traces:    obs.NewTraceRing(0),
+		profiles:  obs.NewProfileRing(0),
+		followers: make(map[string]*followerState),
+		notify:    make(chan struct{}),
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		draining:  make(chan struct{}),
+	}
+	if s.log == nil {
+		s.log = obs.Nop()
 	}
 	if s.cache == nil {
 		s.cache = shardcache.New(0)
+	}
+	if opts.Follow != nil {
+		// The follower's stable identity on every replication pull: lets the
+		// leader report per-follower fetch state in /replication/status.
+		s.followerID = obs.NewTraceID()
 	}
 	if opts.Follow != nil {
 		// Followers bootstrap from the leader BEFORE recovery: install its
@@ -330,6 +367,12 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Batches recovered from the WAL fold into the initial snapshot below
+	// (and the ring holds no traces for them anyway); start the trace clock
+	// past them so new batches line up with WAL sequences.
+	s.traceSeq = s.batchSeq
+	s.foldedTrace = s.batchSeq
+	s.ckptTrace = s.batchSeq
 	s.subVerts = base.NumVertices()
 	// The initial mine draws from the shared budget too: a fleet recovering
 	// (or bulk-creating) many namespaces mines them at the budget's pace,
@@ -360,6 +403,12 @@ func NewServer(g *graph.Graph, opts Options) (*Server, error) {
 		}
 	}
 	s.mux = s.routes()
+	s.log.Info("serving",
+		"role", s.Role(),
+		"gen", snap.Generation,
+		"vertices", base.NumVertices(),
+		"replayed_batches", s.rec.ReplayedBatches,
+		"checkpoint", s.rec.Checkpoint)
 	if opts.Follow != nil {
 		go s.followLoop()
 	} else {
@@ -394,12 +443,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the process dies before a snapshot folds it in. A failed append returns
 // ErrUnavailable (wrapped) and the batch is not accepted.
 func (s *Server) SubmitMutations(muts []Mutation) error {
+	_, err := s.submit(muts, "")
+	return err
+}
+
+// submit is SubmitMutations with lifecycle tracing: traceID is the client's
+// X-Request-Id (or "" to skip correlation), and the returned sequence is the
+// batch's trace key — the WAL sequence on durable servers, a process-local
+// counter otherwise — queryable at /debug/trace/{seq}.
+func (s *Server) submit(muts []Mutation, traceID string) (uint64, error) {
 	if len(muts) == 0 {
-		return fmt.Errorf("serve: empty mutation batch")
+		return 0, fmt.Errorf("serve: empty mutation batch")
 	}
 	if f := s.opts.Follow; f != nil {
 		s.met.mutationsRejected.Add(uint64(len(muts)))
-		return fmt.Errorf("%w (leader: %s)", ErrNotLeader, f.Leader)
+		return 0, fmt.Errorf("%w (leader: %s)", ErrNotLeader, f.Leader)
 	}
 	// subMu serialises validate+append+enqueue so WAL order is exactly
 	// mutation-log order — recovery replay then rebuilds the same graph a
@@ -410,33 +468,33 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 	delta, err := validateBatch(muts, s.subVerts)
 	if err != nil {
 		s.met.mutationsRejected.Add(uint64(len(muts)))
-		return fmt.Errorf("serve: %w", err)
+		return 0, fmt.Errorf("serve: %w", err)
 	}
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
 	if closed {
 		s.met.mutationsRejected.Add(uint64(len(muts)))
-		return fmt.Errorf("serve: server closed, mutations not accepted")
+		return 0, fmt.Errorf("serve: server closed, mutations not accepted")
 	}
 	var seq uint64
 	if s.wl != nil {
 		payload, err := encodeBatch(muts)
 		if err != nil {
 			s.met.mutationsRejected.Add(uint64(len(muts)))
-			return err
+			return 0, err
 		}
 		if seq, err = s.wl.Append(payload); err != nil {
 			s.met.walAppendErrors.Add(1)
 			s.met.mutationsRejected.Add(uint64(len(muts)))
-			return fmt.Errorf("%w: %v", ErrUnavailable, err)
+			return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		s.met.walAppends.Add(1)
 		s.walPos.Store(seq)
 		if s.replicable() {
 			// Leaders keep the unfolded tail in memory so followers mirror
 			// acknowledged batches without the leader re-reading its own log.
-			s.appendTail(seq, payload)
+			s.appendTail(seq, payload, traceID)
 		}
 	}
 	s.mu.Lock()
@@ -444,12 +502,24 @@ func (s *Server) SubmitMutations(muts []Mutation) error {
 	s.mutSeq += uint64(len(muts))
 	if s.wl != nil {
 		s.batchSeq = seq
+		s.traceSeq = seq
+	} else {
+		// No WAL: trace keys come off a process-local counter so batchSeq
+		// (which checkpoint manifests record as FoldedBatches) stays zero on
+		// persist-only servers.
+		s.traceSeq++
+		seq = s.traceSeq
 	}
 	s.mu.Unlock()
 	s.subVerts += delta
 	s.met.mutationsAccepted.Add(uint64(len(muts)))
+	s.traces.Start(seq, traceID, len(muts), obs.StageSubmitted, 0, "")
+	if s.wl != nil {
+		s.traces.Record(seq, obs.StageWALAppended, 0, "")
+	}
+	s.log.Debug("mutations accepted", "batch", seq, "trace", traceID, "mutations", len(muts))
 	s.trigger()
-	return nil
+	return seq, nil
 }
 
 // PendingMutations reports how many accepted mutations the published
@@ -646,15 +716,21 @@ func (s *Server) remine() bool {
 	s.pending = nil
 	covered := s.mutSeq
 	coveredBatch := s.batchSeq
+	prevTrace := s.foldedTrace
+	coveredTrace := s.traceSeq
 	s.mu.Unlock()
 	if len(batch) == 0 {
 		return true
 	}
 	cur := s.snap.Load()
+	s.traces.RecordRange(prevTrace, coveredTrace, obs.StageRemineStart, cur.Generation, "")
+	rec := obs.NewRecorder()
 	start := time.Now()
-	next, model, err := s.rebuildAndMine(cur.Graph, batch)
+	next, model, err := s.rebuildAndMine(cur.Graph, batch, rec)
 	if err != nil {
 		s.met.remineFailures.Add(1)
+		s.profiles.Add(rec.Finish(0, int(coveredTrace-prevTrace), err))
+		s.log.Warn("remine failed", "gen", cur.Generation, "mutations", len(batch), "err", err)
 		s.mu.Lock()
 		s.pending = append(batch, s.pending...)
 		s.failSeq = covered
@@ -666,28 +742,40 @@ func (s *Server) remine() bool {
 		return false
 	}
 	elapsed := time.Since(start)
-	snap := newSnapshot(cur.Generation+1, next, model)
-	s.snap.Store(snap)
+	s.traces.RecordRange(prevTrace, coveredTrace, obs.StageFolded, cur.Generation+1, "")
+	var snap *Snapshot
+	rec.Time(obs.SpanPublish, func() {
+		snap = newSnapshot(cur.Generation+1, next, model)
+		s.snap.Store(snap)
+	})
 	s.met.remines.Add(1)
 	s.met.remineNanosTotal.Add(elapsed.Nanoseconds())
 	s.met.remineNanosLast.Store(elapsed.Nanoseconds())
 	s.mu.Lock()
 	s.minedSeq = covered
 	s.foldedBatches = coveredBatch
+	s.foldedTrace = coveredTrace
 	s.attempts++
 	s.consecFails = 0
 	s.lastErr = nil
 	s.broadcastLocked()
 	s.mu.Unlock()
+	s.traces.RecordRange(prevTrace, coveredTrace, obs.StagePublished, snap.Generation, "")
 	if s.wl != nil && s.opts.PersistDir != "" {
 		// Checkpoint-then-compact: once the folded state is committed in the
 		// persist dir, the WAL segments holding those batches may go. A
 		// failed checkpoint is non-fatal — the log simply keeps the batches
 		// and the next publish (or Close) tries again.
-		if err := s.checkpoint(snap); err != nil {
+		var cerr error
+		rec.Time(obs.SpanCheckpoint, func() { cerr = s.checkpoint(snap) })
+		if cerr != nil {
 			s.met.persistErrors.Add(1)
+			s.log.Warn("checkpoint failed", "gen", snap.Generation, "err", cerr)
 		}
 	}
+	s.profiles.Add(rec.Finish(snap.Generation, int(coveredTrace-prevTrace), nil))
+	s.log.Info("remine published", "gen", snap.Generation, "mutations", len(batch),
+		"seconds", elapsed.Seconds())
 	return true
 }
 
@@ -702,35 +790,55 @@ func (s *Server) broadcastLocked() {
 // poisoned batch — whether it breaks the rebuild or the search — degrades to
 // staleness (the batch re-queues, the last good snapshot keeps serving)
 // instead of killing the re-mine loop.
-func (s *Server) rebuildAndMine(g *graph.Graph, batch []Mutation) (next *graph.Graph, model *icspm.Model, err error) {
+func (s *Server) rebuildAndMine(g *graph.Graph, batch []Mutation, rec *obs.Recorder) (next *graph.Graph, model *icspm.Model, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			next, model, err = nil, nil, fmt.Errorf("serve: rebuild panicked: %v", r)
 		}
 	}()
-	next = Rebuild(g, batch)
-	model, err = s.mine(next)
+	rec.Time(obs.SpanRebuild, func() { next = Rebuild(g, batch) })
+	model, err = s.mineProfiled(next, rec)
 	return next, model, err
 }
 
 // mine runs one search over g through the configured path, converting
 // panics into errors so a poisoned re-mine degrades to staleness instead of
 // killing the serving process.
-func (s *Server) mine(g *graph.Graph) (model *icspm.Model, err error) {
+func (s *Server) mine(g *graph.Graph) (*icspm.Model, error) {
+	return s.mineProfiled(g, nil)
+}
+
+// mineProfiled is mine with per-stage timing: when rec is non-nil, the
+// incremental miner reports its fingerprint/diff/shard_mine/merge phases
+// into it (the distributed transport reports its whole remote pass as one
+// shard_mine span).
+func (s *Server) mineProfiled(g *graph.Graph, rec *obs.Recorder) (model *icspm.Model, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			model, err = nil, fmt.Errorf("serve: re-mine panicked: %v", r)
 		}
 	}()
 	if s.opts.Transport != nil {
-		return icspm.MineDistributed(g, icspm.DistributedOptions{
-			Options:    s.opts.Mining,
-			Transport:  s.opts.Transport,
-			Retries:    s.opts.RemoteRetries,
-			Timeout:    s.opts.RemoteTimeout,
-			NoFallback: s.opts.RemoteNoFallback,
-			Cache:      s.cache,
-		})
+		mine := func() {
+			model, err = icspm.MineDistributed(g, icspm.DistributedOptions{
+				Options:    s.opts.Mining,
+				Transport:  s.opts.Transport,
+				Retries:    s.opts.RemoteRetries,
+				Timeout:    s.opts.RemoteTimeout,
+				NoFallback: s.opts.RemoteNoFallback,
+				Cache:      s.cache,
+			})
+		}
+		if rec != nil {
+			rec.Time(obs.SpanShardMine, mine)
+		} else {
+			mine()
+		}
+		return model, err
 	}
-	return icspm.MineShardedCached(g, s.opts.Mining, s.cache), nil
+	var observe icspm.StageObserver
+	if rec != nil {
+		observe = rec.Observe
+	}
+	return icspm.MineShardedCachedObserved(g, s.opts.Mining, s.cache, observe), nil
 }

@@ -117,6 +117,11 @@ func (c *Client) DeleteNamespace(ctx context.Context, ns string) (serve.DeleteNa
 // other value is JSON-encoded. A 2xx decodes into out (out nil discards);
 // anything else decodes the error envelope into an *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	return c.doHeaders(ctx, method, path, nil, body, out)
+}
+
+// doHeaders is do with extra request headers.
+func (c *Client) doHeaders(ctx context.Context, method, path string, hdr http.Header, body any, out any) error {
 	var rd io.Reader
 	switch b := body.(type) {
 	case nil:
@@ -142,6 +147,11 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	}
 	if rd != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -234,8 +244,19 @@ func (n *NamespaceClient) Metrics(ctx context.Context) (serve.MetricsSnapshot, e
 // generation still being served (re-mining is asynchronous — use Watch to
 // observe the fold).
 func (n *NamespaceClient) Mutate(ctx context.Context, muts []serve.Mutation) (serve.MutationsResponse, error) {
+	return n.MutateTraced(ctx, muts, "")
+}
+
+// MutateTraced is Mutate with a caller-chosen X-Request-Id trace ID ("" lets
+// the server mint one); the ack echoes the ID in TraceID and names the
+// batch's WAL sequence in Batch — the handle /debug/trace/{seq} queries.
+func (n *NamespaceClient) MutateTraced(ctx context.Context, muts []serve.Mutation, traceID string) (serve.MutationsResponse, error) {
+	var hdr http.Header
+	if traceID != "" {
+		hdr = http.Header{"X-Request-Id": {traceID}}
+	}
 	var out serve.MutationsResponse
-	err := n.c.do(ctx, http.MethodPost, n.prefix+"/mutations", serve.MutationsRequest{Mutations: muts}, &out)
+	err := n.c.doHeaders(ctx, http.MethodPost, n.prefix+"/mutations", hdr, serve.MutationsRequest{Mutations: muts}, &out)
 	return out, err
 }
 
@@ -275,6 +296,24 @@ func (n *NamespaceClient) ReplicationStatus(ctx context.Context) (serve.Replicat
 func (n *NamespaceClient) Promote(ctx context.Context) (serve.PromoteResponse, error) {
 	var out serve.PromoteResponse
 	err := n.c.do(ctx, http.MethodPost, n.prefix+"/replication/promote", nil, &out)
+	return out, err
+}
+
+// Trace fetches the recorded lifecycle of batch seq on this server (the
+// leader's WAL sequence number, which followers index their mirror traces
+// under too — so the same seq joins the story across fleet roles). A batch
+// never submitted here, or evicted from the bounded ring, answers 404
+// trace_not_found.
+func (n *NamespaceClient) Trace(ctx context.Context, seq uint64) (serve.TraceResponse, error) {
+	var out serve.TraceResponse
+	err := n.c.do(ctx, http.MethodGet, n.prefix+"/debug/trace/"+strconv.FormatUint(seq, 10), nil, &out)
+	return out, err
+}
+
+// Remines fetches the tenant's recent re-mine stage profiles, newest first.
+func (n *NamespaceClient) Remines(ctx context.Context) (serve.ReminesResponse, error) {
+	var out serve.ReminesResponse
+	err := n.c.do(ctx, http.MethodGet, n.prefix+"/debug/remines", nil, &out)
 	return out, err
 }
 

@@ -12,11 +12,13 @@
 #               paths are inside the serve match)
 #            + internal/serveclient (incl. fleet.go)
 #            + internal/wal (and wal/crashfs)
-#            + internal/dynamic                            >= 85%  (subsystem bar:
+#            + internal/dynamic
+#            + internal/obs                                >= 85%  (subsystem bar:
 #                                                          cache + transport +
 #                                                          serving + replication +
 #                                                          API client + durability
-#                                                          + dynamic graphs)
+#                                                          + dynamic graphs +
+#                                                          observability)
 #
 #   scripts/coverage.sh            # gate at the default thresholds
 #   scripts/coverage.sh 90 80      # custom core / subsystem thresholds
@@ -27,7 +29,7 @@ SUB_THRESHOLD="${2:-85.0}"
 # Keep the test output: on failure it is the only diagnostic; on success the
 # per-package coverage lines double as a breakdown.
 go test -count=1 -coverprofile=coverage.out \
-  -coverpkg=cspm/internal/cspm,cspm/internal/invdb,cspm/internal/graph,cspm/internal/shardcache,cspm/internal/shardrpc,cspm/internal/serve,cspm/internal/serveclient,cspm/internal/wal,cspm/internal/wal/crashfs,cspm/internal/dynamic ./...
+  -coverpkg=cspm/internal/cspm,cspm/internal/invdb,cspm/internal/graph,cspm/internal/shardcache,cspm/internal/shardrpc,cspm/internal/serve,cspm/internal/serveclient,cspm/internal/wal,cspm/internal/wal/crashfs,cspm/internal/dynamic,cspm/internal/obs ./...
 
 # group_pct <file-path-regex>: statement coverage over the matching files.
 # Blocks are deduped by position (the merged profile repeats blocks once per
@@ -63,4 +65,4 @@ gate() { # gate <label> <regex> <threshold>
 }
 
 gate "internal/cspm + internal/invdb" '^cspm/internal/(cspm|invdb)/' "$CORE_THRESHOLD"
-gate "internal/graph + internal/shardcache + internal/shardrpc + internal/serve + internal/serveclient + internal/wal + internal/dynamic" '^cspm/internal/(graph|shardcache|shardrpc|serve|serveclient|wal|dynamic)/' "$SUB_THRESHOLD"
+gate "internal/graph + internal/shardcache + internal/shardrpc + internal/serve + internal/serveclient + internal/wal + internal/dynamic + internal/obs" '^cspm/internal/(graph|shardcache|shardrpc|serve|serveclient|wal|dynamic|obs)/' "$SUB_THRESHOLD"
